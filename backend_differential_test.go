@@ -1,0 +1,28 @@
+package duel_test
+
+import (
+	"strings"
+	"testing"
+
+	"duel/internal/scenarios"
+)
+
+// TestPaperCatalogAllBackends runs the full paper catalog on every evaluator
+// backend; they must agree line-for-line (experiment T7's correctness leg).
+func TestPaperCatalogAllBackends(t *testing.T) {
+	for _, backend := range []string{"machine", "chan"} {
+		t.Run(backend, func(t *testing.T) {
+			for _, e := range scenarios.Catalog {
+				t.Run(e.ID, func(t *testing.T) {
+					lines, stdout := runEntry(t, backend, e)
+					if got, want := strings.Join(lines, "\n"), strings.Join(e.Want, "\n"); got != want {
+						t.Errorf("result lines:\n got:\n%s\n want:\n%s", indent(got), indent(want))
+					}
+					if stdout != e.WantStdout {
+						t.Errorf("target stdout:\n got  %q\n want %q", stdout, e.WantStdout)
+					}
+				})
+			}
+		})
+	}
+}

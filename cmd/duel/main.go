@@ -1,0 +1,113 @@
+// Command duel is the interactive mini-debugger (mdb) with the DUEL very
+// high-level debugging language, reproducing the paper's gdb+DUEL setup:
+//
+//	duel program.c              # load a micro-C program, then interact
+//	duel -s symtab              # load a built-in paper scenario (pre-run)
+//	duel -s list -e 'head-->next->value'
+//	echo 'run
+//	duel x[..10] >? 5' | duel program.c
+//
+// Inside the debugger, "duel <expr>" evaluates a DUEL expression and prints
+// every value it produces, e.g.:
+//
+//	(mdb) duel x[..100] >? 0
+//	x[3] = 7
+//	x[18] = 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"duel"
+	"duel/internal/debugger"
+	"duel/internal/scenarios"
+	"duel/internal/target"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "duel:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenario = flag.String("s", "", "load a built-in scenario (and run its main): "+strings.Join(scenarios.All, ", "))
+		expr     = flag.String("e", "", "evaluate one DUEL expression and exit")
+		script   = flag.String("x", "", "execute debugger commands from this file before going interactive")
+		backend  = flag.String("backend", "push", "evaluator backend: push, machine or chan")
+		dataMB   = flag.Int("data", 16, "target data segment size in MiB")
+	)
+	flag.Parse()
+
+	cfg := target.DefaultConfig
+	cfg.DataSize = *dataMB << 20
+
+	// One-shot expression mode against a scenario image.
+	if *expr != "" {
+		name := *scenario
+		if name == "" {
+			name = scenarios.Symtab
+		}
+		d, _, err := scenarios.Build(name, os.Stdout)
+		if err != nil {
+			return err
+		}
+		opts := duel.DefaultOptions()
+		opts.Backend = *backend
+		ses, err := duel.NewSession(d, opts)
+		if err != nil {
+			return err
+		}
+		return ses.Exec(os.Stdout, *expr)
+	}
+
+	// Interactive mode: a scenario or a micro-C source file.
+	var src string
+	switch {
+	case *scenario != "":
+		s, ok := scenarios.Source(*scenario)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (have %s)", *scenario, strings.Join(scenarios.All, ", "))
+		}
+		src = s
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	default:
+		return fmt.Errorf("usage: duel [-s scenario | program.c] [-e expr] [-x script]")
+	}
+
+	input := io.Reader(os.Stdin)
+	if *script != "" {
+		b, err := os.ReadFile(*script)
+		if err != nil {
+			return err
+		}
+		input = io.MultiReader(strings.NewReader(string(b)), os.Stdin)
+	}
+	r, err := debugger.NewREPL(src, input, os.Stdout, cfg)
+	if err != nil {
+		return err
+	}
+	if *backend != "push" {
+		if _, err := r.Command("set backend " + *backend); err != nil {
+			return err
+		}
+	}
+	if *scenario != "" {
+		// Scenario images are inspected after their main has run.
+		if _, err := r.Command("run"); err != nil {
+			return err
+		}
+	}
+	return r.Loop()
+}

@@ -1,0 +1,35 @@
+// Command duelexp regenerates the paper's evaluation tables and figures
+// (see EXPERIMENTS.md for the experiment index):
+//
+//	duelexp t1     # example-catalog conformance
+//	duelexp t2     # one-liners vs C code
+//	duelexp t3     # x[..N] >? 0 timing (the paper's 5-second example)
+//	duelexp t4     # symbol-lookup cost (1..100+i)
+//	duelexp t5     # symbolic-value overhead
+//	duelexp t6     # implementation-size table
+//	duelexp t7     # evaluator-backend ablation
+//	duelexp t8     # cycle-handling ablation
+//	duelexp f1 f2  # figure series (scaling, cost breakdown)
+//	duelexp all
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"duel/internal/experiments"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	for _, a := range args {
+		if err := experiments.Run(os.Stdout, a); err != nil {
+			fmt.Fprintln(os.Stderr, "duelexp:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

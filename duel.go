@@ -1,0 +1,207 @@
+// Package duel is a Go reproduction of DUEL, the very high-level debugging
+// language of Golan & Hanson (Winter USENIX 1993). DUEL extends C
+// expressions with generators — expressions producing zero or more values —
+// so that state-exploration queries become one-liners:
+//
+//	x[..100] >? 0                     // positive elements of x, with indices
+//	hash[..1024]-->next->scope = 0 ;  // clear every symbol's scope field
+//	head-->next->value                // walk a linked list
+//
+// A Session attaches the DUEL engine to any debugger implementing the narrow
+// interface of package internal/dbgif (the paper's duel_get_target_bytes &
+// co.). This repository provides a complete substrate: a simulated target
+// process (internal/target), a micro-C interpreter to populate and run it
+// (internal/microc), and a mini source-level debugger (internal/debugger).
+//
+// Quick start:
+//
+//	p := target.MustNewProcess(target.DefaultConfig)
+//	// ... define globals, or load a micro-C program ...
+//	s := duel.NewSession(debugger.New(p))
+//	s.Exec(os.Stdout, "(1..3)+(5,9)")
+package duel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+
+	"duel/internal/core"
+	"duel/internal/dbgif"
+	"duel/internal/duel/ast"
+	"duel/internal/duel/display"
+	"duel/internal/duel/parser"
+	"duel/internal/duel/value"
+)
+
+// Options configure a Session.
+type Options struct {
+	// Backend selects the evaluator implementation: "push" (default),
+	// "machine" (the paper's explicit state machines) or "chan"
+	// (goroutine coroutines).
+	Backend string
+	// Eval controls evaluation (symbolic values, cycle detection,
+	// safety limits). Zero value means core.DefaultOptions.
+	Eval core.Options
+	// ShowSymbolic controls "symbolic = value" output lines.
+	ShowSymbolic bool
+	// MaxOutput bounds the number of result lines Exec prints
+	// (0 = unlimited).
+	MaxOutput int
+}
+
+// DefaultOptions returns the standard session options.
+func DefaultOptions() Options {
+	return Options{Backend: "push", Eval: core.DefaultOptions(), ShowSymbolic: true}
+}
+
+// Result is one value produced by a DUEL expression.
+type Result struct {
+	// Sym is the symbolic (derivation) expression, e.g. "x[3]".
+	Sym string
+	// Text is the formatted value, e.g. "7".
+	Text string
+	// Value is the underlying engine value.
+	Value value.Value
+}
+
+// Line renders the result as DUEL prints it: "sym = value", or just the
+// value when the symbolic form adds nothing.
+func (r Result) Line() string {
+	if r.Sym == "" || r.Sym == r.Text {
+		return r.Text
+	}
+	return r.Sym + " = " + r.Text
+}
+
+// Session is one DUEL session attached to a debugger.
+type Session struct {
+	D       dbgif.Debugger
+	Env     *core.Env
+	Backend core.Backend
+	Printer *display.Printer
+	opts    Options
+}
+
+// NewSession attaches DUEL to the given debugger.
+func NewSession(d dbgif.Debugger, opts ...Options) (*Session, error) {
+	o := DefaultOptions()
+	if len(opts) > 0 {
+		o = opts[0]
+		if o.Backend == "" {
+			o.Backend = "push"
+		}
+		if o.Eval.MaxOpenRange == 0 {
+			o.Eval = core.DefaultOptions()
+		}
+	}
+	b, err := core.GetBackend(o.Backend)
+	if err != nil {
+		return nil, err
+	}
+	env := core.NewEnv(d, o.Eval)
+	pr := display.New(env.Ctx)
+	pr.Symbolic = o.ShowSymbolic
+	return &Session{D: d, Env: env, Backend: b, Printer: pr, opts: o}, nil
+}
+
+// MustNewSession is NewSession for tests and examples.
+func MustNewSession(d dbgif.Debugger, opts ...Options) *Session {
+	s, err := NewSession(d, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Parse compiles a DUEL command input to its AST without evaluating it.
+func (s *Session) Parse(src string) (*ast.Node, error) {
+	return parser.Parse(src, s.D)
+}
+
+// Eval evaluates a DUEL input and collects all produced values.
+func (s *Session) Eval(src string) ([]Result, error) {
+	var out []Result
+	err := s.EvalFunc(src, func(r Result) error {
+		out = append(out, r)
+		return nil
+	})
+	return out, err
+}
+
+// EvalFunc evaluates a DUEL input, streaming each produced value — the
+// paper's top-level driver ("the duel command drives its expression argument
+// and prints all of its values").
+func (s *Session) EvalFunc(src string, f func(Result) error) error {
+	n, err := s.Parse(src)
+	if err != nil {
+		return err
+	}
+	return s.EvalNode(n, f)
+}
+
+// EvalNode drives an already-parsed expression.
+func (s *Session) EvalNode(n *ast.Node, f func(Result) error) error {
+	return s.Backend.Eval(s.Env, n, func(v value.Value) error {
+		text, err := s.Printer.Format(v)
+		if err != nil {
+			return err
+		}
+		sym := ""
+		if s.opts.ShowSymbolic {
+			sym = v.Sym.S
+		}
+		return f(Result{Sym: sym, Text: text, Value: v})
+	})
+}
+
+// Exec evaluates a DUEL input and writes one line per value to w, exactly
+// like the gdb "duel" command.
+func (s *Session) Exec(w io.Writer, src string) error {
+	count := 0
+	err := s.EvalFunc(src, func(r Result) error {
+		count++
+		if s.opts.MaxOutput > 0 && count > s.opts.MaxOutput {
+			fmt.Fprintf(w, "... (output truncated at %d lines)\n", s.opts.MaxOutput)
+			return fmt.Errorf("duel: output truncated")
+		}
+		_, err := fmt.Fprintln(w, r.Line())
+		return err
+	})
+	return err
+}
+
+// ClearAliases drops all aliases and DUEL-declared variables, like
+// restarting the session.
+func (s *Session) ClearAliases() { s.Env.ClearAliases() }
+
+// Counters exposes the evaluation instrumentation (symbol lookups, operator
+// applications, symbolic compositions, values produced, memory loads).
+func (s *Session) Counters() core.Counters { return s.Env.Num }
+
+// ResetCounters zeroes the instrumentation counters.
+func (s *Session) ResetCounters() { s.Env.ResetCounters() }
+
+// Values returns a range-over-func iterator over the results of src. The
+// second element carries an evaluation error; iteration ends after an error
+// is yielded.
+//
+//	for r, err := range ses.Values("x[..100] >? 0") {
+//		if err != nil { ... }
+//		fmt.Println(r.Line())
+//	}
+func (s *Session) Values(src string) iter.Seq2[Result, error] {
+	return func(yield func(Result, error) bool) {
+		stop := errors.New("stop")
+		err := s.EvalFunc(src, func(r Result) error {
+			if !yield(r, nil) {
+				return stop
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, stop) {
+			yield(Result{}, err)
+		}
+	}
+}

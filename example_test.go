@@ -1,0 +1,86 @@
+package duel_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"duel"
+	"duel/internal/debugger"
+	"duel/internal/microc"
+	"duel/internal/scenarios"
+	"duel/internal/target"
+)
+
+// Example shows the smallest end-to-end use: build a debuggee, attach a
+// session, run the paper's abstract query.
+func Example() {
+	p := target.MustNewProcess(target.Config{Model: 0, DataSize: 1 << 20, HeapSize: 1 << 20, StackSize: 1 << 16})
+	d := debugger.New(p)
+	in, err := microc.Load(p, d, `
+int x[100];
+int main() {
+	int i;
+	for (i = 0; i < 100; i = i + 1)
+		x[i] = -1;
+	x[3] = 7;
+	x[18] = 9;
+	return 0;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := in.RunMain(nil); err != nil {
+		log.Fatal(err)
+	}
+
+	ses := duel.MustNewSession(d)
+	if err := ses.Exec(os.Stdout, "x[..100] >? 0"); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// x[3] = 7
+	// x[18] = 9
+}
+
+// ExampleSession_Eval collects results programmatically.
+func ExampleSession_Eval() {
+	ses := duel.MustNewSession(scenarios.MustBuild(scenarios.Tree, nil))
+	results, err := ses.Eval("root-->(left,right)->key")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s = %s\n", r.Sym, r.Text)
+	}
+	// Output:
+	// root->key = 9
+	// root->left->key = 3
+	// root->left->left->key = 4
+	// root->left->right->key = 5
+	// root->right->key = 12
+}
+
+// ExampleSession_Values iterates with Go 1.23 range-over-func.
+func ExampleSession_Values() {
+	ses := duel.MustNewSession(scenarios.MustBuild(scenarios.List, nil))
+	for r, err := range ses.Values("L-->next->(value ==? next-->next->value)") {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Line())
+	}
+	// Output:
+	// L-->next[[4]]->value = 27
+}
+
+// ExampleSession_Exec_aliases shows aliases, declarations and reductions.
+func ExampleSession_Exec_aliases() {
+	ses := duel.MustNewSession(scenarios.MustBuild(scenarios.Symtab, nil))
+	_ = ses.Exec(os.Stdout, "deep := (hash[..1024] !=? 0)->scope >? 5 => {deep}")
+	_ = ses.Exec(os.Stdout, "#/(hash[..1024]-->next)")
+	// Output:
+	// 7
+	// 8
+	// 11
+}

@@ -1,0 +1,45 @@
+// Bintree explores the paper's binary tree (9, (3 (4) (5)), (12)) with the
+// expansion operators: preorder via -->, breadth-first via -->> (extension),
+// guided descent with a conditional step, and the reductions.
+//
+// Run with: go run ./examples/bintree
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"duel"
+	"duel/internal/scenarios"
+)
+
+func main() {
+	d, _, err := scenarios.Build(scenarios.Tree, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ses, err := duel.NewSession(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(title, q string) {
+		fmt.Printf("-- %s\nduel> %s\n", title, q)
+		if err := ses.Exec(os.Stdout, q); err != nil {
+			fmt.Println(err)
+		}
+		fmt.Println()
+	}
+
+	run("all keys, preorder", "root-->(left,right)->key")
+	run("all keys, breadth-first (extension)", "root-->>(left,right)->key")
+	run("how many nodes?", "#/(root-->(left,right))")
+	run("sum of all keys", "+/(root-->(left,right)->key)")
+	run("the leaves (no children)",
+		"root-->(left,right)->(if (left == 0 && right == 0) key)")
+	run("path to the node holding 5 (guided descent)",
+		"root-->(if (key > 5) left else if (key < 5) right)->key")
+	run("keys between 4 and 11", "root-->(left,right)->key >? 4 <? 11")
+	run("select the 2nd and 4th visited nodes",
+		"root-->(left,right)->key[[1,3]]")
+}

@@ -1,0 +1,51 @@
+// Listdup answers the Introduction's motivating query — "does list L contain
+// two identical elements in its value fields?" — first with the paper's C
+// loop (which hides a bug: the inner loop starts at p, so every element
+// matches itself) and then with the DUEL one-liner that gets it right.
+//
+// Run with: go run ./examples/listdup
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"duel"
+	"duel/internal/scenarios"
+)
+
+func main() {
+	d, _, err := scenarios.Build(scenarios.List, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ses, err := duel.NewSession(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(q string) {
+		fmt.Printf("duel> %s\n", q)
+		if err := ses.Exec(os.Stdout, q); err != nil {
+			fmt.Println(err)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("the list:")
+	run("L-->next->value")
+
+	fmt.Println("the paper's C code, typed at the duel prompt (note the bug:")
+	fmt.Println("q starts at p, so every element 'duplicates' itself):")
+	run(`struct node *p, *q;
+	     for (p = L; p; p = p->next)
+	         for (q = p; q; q = q->next)
+	             if (p->value == q->value)
+	                 printf("%d duplicated\n", p->value);`)
+
+	fmt.Println("the DUEL one-liner (inner walk starts after the element):")
+	run("L-->next->(value ==? next-->next->value)")
+
+	fmt.Println("and with index aliases, showing both positions:")
+	run("L-->next#i->value ==? L-->next#j->value => if (i < j) L-->next[[i,j]]->value")
+}

@@ -1,0 +1,70 @@
+// Quickstart: build a tiny debuggee, attach a DUEL session, and run the
+// queries from the paper's abstract. This is the smallest end-to-end use of
+// the public API:
+//
+//	process  ->  micro-C program  ->  debugger  ->  duel.Session
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"duel"
+	"duel/internal/debugger"
+	"duel/internal/microc"
+	"duel/internal/target"
+)
+
+// program is the debuggee: an array with a few interesting values.
+const program = `
+int x[100];
+
+int main() {
+	int i;
+	for (i = 0; i < 100; i = i + 1)
+		x[i] = -50 + i;       /* x[0]=-50 ... x[99]=49 */
+	x[7] = 1000;              /* an outlier */
+	return 0;
+}
+`
+
+func main() {
+	// 1. Create a simulated target process and load the program.
+	p, err := target.NewProcess(target.DefaultConfig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.Stdout = os.Stdout
+	dbg := debugger.New(p)
+	interp, err := microc.Load(p, dbg, program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 2. Run it to populate memory (a real debugger would hit a
+	// breakpoint here).
+	if _, err := interp.RunMain(nil); err != nil {
+		log.Fatal(err)
+	}
+	// 3. Attach DUEL and explore the state.
+	ses, err := duel.NewSession(dbg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := []string{
+		"x[..100] >? 40",        // which elements are > 40, and where?
+		"#/(x[..100] >? 0)",     // how many are positive?
+		"+/(x[..100])",          // their sum
+		"x[..100] >? 40 <? 900", // chained comparisons narrow the search
+		"y := x[..100] => if (y < -45 || y > 900) {y}", // aliases
+	}
+	for _, q := range queries {
+		fmt.Printf("duel> %s\n", q)
+		if err := ses.Exec(os.Stdout, q); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,65 @@
+// Symtab reproduces the paper's running example: a compiler's hash-based
+// symbol table, queried with the one-liners from §Syntax — finding deep
+// scopes, dumping fields with alternation, verifying the scope-ordering
+// invariant across all 1024 chains, and bulk-clearing scopes.
+//
+// Run with: go run ./examples/symtab
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"duel"
+	"duel/internal/scenarios"
+)
+
+func main() {
+	// The paper's symbol table image:
+	//   struct symbol { char *name; int scope; struct symbol *next; } *hash[1024];
+	d, _, err := scenarios.Build(scenarios.Symtab, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ses, err := duel.NewSession(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	section := func(title string) { fmt.Printf("\n== %s ==\n", title) }
+	run := func(q string) {
+		fmt.Printf("duel> %s\n", q)
+		if err := ses.Exec(os.Stdout, q); err != nil {
+			fmt.Println(err)
+		}
+	}
+
+	section("which buckets hold symbols with scope > 5?")
+	run("(hash[..1024] !=? 0)->scope >? 5")
+
+	section("the same search, three C-flavoured ways (the paper's trio)")
+	run("int i; for (i = 0; i < 1024; i++) if (hash[i] && hash[i]->scope > 5) hash[i]->scope")
+	run("int i; for (i = 0; i < 1024; i++) if (hash[i]) hash[i]->scope >? 5")
+	run("int i; for (i = 0; i < 1024; i++) (hash[i] !=? 0)->scope >? 5")
+
+	section("several fields at once, via alternation")
+	run("hash[1,9]->(scope,name)")
+
+	section("names of the deep symbols, guarding null buckets with _")
+	run("hash[..1024]->(if (_ && scope > 5) name)")
+
+	section("walk one chain")
+	run("hash[0]-->next->(name,scope)")
+
+	section("how many symbols are in the whole table?")
+	run("#/(hash[..1024]-->next)")
+
+	section("verify every chain is sorted by decreasing scope")
+	run("hash[..1024]-->next->if (next) scope <? next->scope")
+	fmt.Println("(no output: the invariant holds on this image)")
+
+	section("bulk update: push every head symbol to scope 0")
+	run("x := hash[..1024] !=? 0 => x->scope = 0 ;")
+	run("#/((hash[..1024] !=? 0)->scope >? 0)")
+}

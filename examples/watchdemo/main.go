@@ -1,0 +1,90 @@
+// Watchdemo drives a full debugging session programmatically: it loads a
+// buggy micro-C program into the mini-debugger, sets a DUEL watchpoint on an
+// invariant ("the list stays sorted") and a conditional breakpoint, runs to
+// the moment the invariant breaks, and inspects the damage with DUEL — the
+// workflow the paper's Discussion section sketches for watchpoints,
+// conditional breakpoints and assertions.
+//
+// Run with: go run ./examples/watchdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"duel/internal/debugger"
+	"duel/internal/target"
+)
+
+// program inserts values into a sorted list, with a deliberate bug: one
+// insertion ignores the order.
+const program = `
+struct node { int v; struct node *next; };
+struct node *head;
+
+void insert_sorted(int val) {
+	struct node *n;
+	n = (struct node *) malloc(sizeof(struct node));
+	n->v = val;
+	if (head == 0 || head->v >= val) {
+		n->next = head;
+		head = n;
+		return;
+	}
+	{
+		struct node *p;
+		p = head;
+		while (p->next && p->next->v < val)
+			p = p->next;
+		n->next = p->next;
+		p->next = n;
+	}
+}
+
+void insert_buggy(int val) {
+	/* appends at the head regardless of order */
+	struct node *n;
+	n = (struct node *) malloc(sizeof(struct node));
+	n->v = val;
+	n->next = head;
+	head = n;
+}
+
+int main() {
+	insert_sorted(10);
+	insert_sorted(30);
+	insert_sorted(20);
+	insert_buggy(25);     /* the bug: 25 lands in front of 10 */
+	insert_sorted(40);
+	return 0;
+}
+`
+
+func main() {
+	// Script the session exactly as a user would type it. The watchpoint
+	// is the paper's "assertion" idea: the DUEL one-liner that detects an
+	// unsorted adjacent pair re-evaluates after every statement.
+	script := strings.Join([]string{
+		"watch head-->next->(if (next) v >? next->v)", // sortedness violation detector
+		"break insert_buggy if val > 20",              // conditional breakpoint
+		"run",
+		"backtrace", // first stop: the conditional breakpoint
+		"duel val",
+		"continue",
+		"duel head-->next->v", // second stop: the watchpoint has fired
+		"continue",
+		"quit",
+	}, "\n") + "\n"
+
+	cfg := target.Config{Model: 0, DataSize: 1 << 20, HeapSize: 1 << 20, StackSize: 1 << 18}
+	r, err := debugger.NewREPL(program, strings.NewReader(script), os.Stdout, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- scripted session ---")
+	if err := r.Loop(); err != nil {
+		log.Fatal(err)
+	}
+}

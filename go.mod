@@ -1,0 +1,3 @@
+module duel
+
+go 1.23

@@ -1,0 +1,974 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"duel/internal/ctype"
+	"duel/internal/dbgif"
+	"duel/internal/duel/ast"
+	"duel/internal/duel/value"
+)
+
+// chanBackend realizes the paper's observation that its evaluation scheme
+// "simulates coroutines": here every generator IS a coroutine — a goroutine
+// producing values over a channel, written in the direct style of the
+// paper's yield pseudo-code. A two-channel handshake keeps exactly one
+// goroutine runnable at a time, so evaluation order (and the shared
+// name-resolution stack) is identical to the other backends.
+type chanBackend struct{}
+
+func init() { RegisterBackend(chanBackend{}) }
+
+// Name implements Backend.
+func (chanBackend) Name() string { return "chan" }
+
+// Eval implements Backend.
+func (chanBackend) Eval(e *Env, n *ast.Node, emit EmitFn) error {
+	e.beginEval()
+	g := &cgen{env: e}
+	it := g.gen(n)
+	defer it.stop()
+	for {
+		v, ok := it.next()
+		if !ok {
+			return it.err
+		}
+		if err := emit(v); err != nil {
+			return err
+		}
+	}
+}
+
+// citer is a coroutine-backed value iterator.
+type citer struct {
+	vals   chan value.Value
+	resume chan struct{}
+	done   chan struct{}
+	err    error
+
+	started bool
+	ended   bool
+	stopped bool
+}
+
+// next pulls the next value; ok=false means the sequence ended (check err).
+func (it *citer) next() (value.Value, bool) {
+	if it.ended {
+		return value.Value{}, false
+	}
+	if it.started {
+		select {
+		case it.resume <- struct{}{}:
+		case <-it.done:
+			it.ended = true
+			return value.Value{}, false
+		}
+	}
+	it.started = true
+	v, ok := <-it.vals
+	if !ok {
+		it.ended = true
+	}
+	return v, ok
+}
+
+// stop abandons the iterator and waits for its coroutine to unwind
+// completely. The wait matters: the coroutine's deferred cleanups (popping
+// with-scopes, stopping its own children) mutate shared evaluator state, so
+// the consumer may only continue once the producer has finished — vals is
+// closed by the outermost defer, after all others ran.
+func (it *citer) stop() {
+	if it.stopped {
+		return
+	}
+	it.stopped = true
+	close(it.done)
+	for range it.vals {
+		// Discard any in-flight values until the producer closes vals.
+	}
+	it.ended = true
+}
+
+// cgen builds coroutine generators over an Env.
+type cgen struct{ env *Env }
+
+// yielder is passed to coroutine bodies: yield sends one value and suspends
+// until the consumer pulls again; it reports false when the consumer has
+// abandoned the sequence and the body must unwind.
+type yielder struct {
+	it *citer
+}
+
+func (y yielder) yield(v value.Value) bool {
+	select {
+	case y.it.vals <- v:
+	case <-y.it.done:
+		return false
+	}
+	select {
+	case <-y.it.resume:
+		return true
+	case <-y.it.done:
+		return false
+	}
+}
+
+// errAbandon unwinds a coroutine body after the consumer stopped it.
+var errAbandon = errors.New("duel: generator abandoned")
+
+// gen spawns the coroutine producing n's values.
+func (g *cgen) gen(n *ast.Node) *citer {
+	it := &citer{
+		vals:   make(chan value.Value),
+		resume: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	y := yielder{it: it}
+	go func() {
+		defer close(it.vals)
+		err := g.run(n, y)
+		if err != nil && !errors.Is(err, errAbandon) {
+			it.err = err
+		}
+	}()
+	return it
+}
+
+// mustYield converts an abandoned send into the unwind error.
+func (y yielder) out(v value.Value) error {
+	if !y.yield(v) {
+		return errAbandon
+	}
+	return nil
+}
+
+// run is the body dispatcher: each operator is written in the direct style
+// of the paper's pseudo-code, pulling operand values from child coroutines.
+func (g *cgen) run(n *ast.Node, y yielder) error {
+	e := g.env
+	if err := e.step(); err != nil {
+		return err
+	}
+	switch n.Op {
+	case ast.OpConst:
+		return y.out(e.constValue(n))
+	case ast.OpFConst:
+		v := value.MakeFloat(e.Ctx.Arch.Double, n.Float)
+		v.Sym = e.atom(n.Text)
+		return y.out(v)
+	case ast.OpStr:
+		v, err := e.internString(n)
+		if err != nil {
+			return err
+		}
+		return y.out(v)
+	case ast.OpName:
+		v, err := e.fetch(n.Name)
+		if err != nil {
+			return err
+		}
+		return y.out(v)
+	case ast.OpNothing:
+		return nil
+	case ast.OpSizeofT:
+		v := value.MakeInt(e.Ctx.Arch.ULong, int64(n.Type.Size()))
+		v.Sym = e.intAtom(int64(n.Type.Size()))
+		return y.out(v)
+
+	case ast.OpGroup:
+		return g.each(n.Kids[0], func(v value.Value) error {
+			return y.out(v.WithSym(e.groupSym(v.Sym)))
+		})
+	case ast.OpCurly:
+		return g.each(n.Kids[0], func(v value.Value) error {
+			s, err := e.FormatScalar(v)
+			if err != nil {
+				return err
+			}
+			return y.out(v.WithSym(e.atom(s)))
+		})
+
+	case ast.OpNeg, ast.OpPos, ast.OpNot, ast.OpBitNot, ast.OpIndirect, ast.OpAddrOf, ast.OpCast:
+		return g.each(n.Kids[0], func(u value.Value) error {
+			var w value.Value
+			var err error
+			e.Num.Applies++
+			switch n.Op {
+			case ast.OpAddrOf:
+				w, err = e.Ctx.AddrOf(u)
+				if err == nil {
+					w = w.WithSym(e.preSym("&", u.Sym))
+				}
+			case ast.OpIndirect:
+				var ru value.Value
+				if ru, err = e.rval(u); err == nil {
+					if w, err = e.Ctx.Deref(ru); err == nil {
+						w = w.WithSym(e.preSym("*", u.Sym))
+					}
+				}
+			case ast.OpCast:
+				var ru value.Value
+				if ru, err = e.rval(u); err == nil {
+					if w, err = e.Ctx.Convert(ru, n.Type); err == nil {
+						w = w.WithSym(e.preSym("("+n.Type.String()+")", u.Sym))
+					}
+				}
+			default:
+				var ru value.Value
+				if ru, err = e.rval(u); err == nil {
+					if w, err = e.Ctx.Unary(n.Op, ru); err == nil {
+						w = w.WithSym(e.preSym(n.Op.Symbol(), u.Sym))
+					}
+				}
+			}
+			if err != nil {
+				return err
+			}
+			return y.out(w)
+		})
+
+	case ast.OpPreInc, ast.OpPreDec, ast.OpPostInc, ast.OpPostDec:
+		op := ast.OpPlus
+		symOp := "++"
+		if n.Op == ast.OpPreDec || n.Op == ast.OpPostDec {
+			op = ast.OpMinus
+			symOp = "--"
+		}
+		pre := n.Op == ast.OpPreInc || n.Op == ast.OpPreDec
+		return g.each(n.Kids[0], func(u value.Value) error {
+			old, err := e.rval(u)
+			if err != nil {
+				return err
+			}
+			e.Num.Applies++
+			upd, err := e.Ctx.Binary(op, old, value.MakeInt(e.Ctx.Arch.Int, 1))
+			if err != nil {
+				return err
+			}
+			if err := e.Ctx.Store(u, upd); err != nil {
+				return err
+			}
+			if pre {
+				conv, err := e.Ctx.Convert(upd, u.Type)
+				if err != nil {
+					return err
+				}
+				return y.out(conv.WithSym(e.preSym(symOp, u.Sym)))
+			}
+			return y.out(old.WithSym(e.postSym(u.Sym, symOp)))
+		})
+
+	case ast.OpSizeofE:
+		it := g.gen(n.Kids[0])
+		defer it.stop()
+		u, ok := it.next()
+		if !ok {
+			if it.err != nil {
+				return it.err
+			}
+			return fmt.Errorf("duel: sizeof operand produced no values")
+		}
+		size := int64(ctype.Strip(u.Type).Size())
+		v := value.MakeInt(e.Ctx.Arch.ULong, size)
+		v.Sym = e.intAtom(size)
+		return y.out(v)
+
+	case ast.OpPlus, ast.OpMinus, ast.OpMultiply, ast.OpDivide, ast.OpModulo,
+		ast.OpShl, ast.OpShr, ast.OpBitAnd, ast.OpBitOr, ast.OpBitXor,
+		ast.OpLt, ast.OpGt, ast.OpLe, ast.OpGe, ast.OpEq, ast.OpNe:
+		prec := opPrec(n.Op)
+		return g.each(n.Kids[0], func(u value.Value) error {
+			ru, err := e.rval(u)
+			if err != nil {
+				return err
+			}
+			return g.each(n.Kids[1], func(v value.Value) error {
+				rv, err := e.rval(v)
+				if err != nil {
+					return err
+				}
+				e.Num.Applies++
+				w, err := e.Ctx.Binary(n.Op, ru, rv)
+				if err != nil {
+					return err
+				}
+				return y.out(w.WithSym(e.binSym(u.Sym, n.Op.Symbol(), v.Sym, prec)))
+			})
+		})
+
+	case ast.OpIfLt, ast.OpIfGt, ast.OpIfLe, ast.OpIfGe, ast.OpIfEq, ast.OpIfNe:
+		return g.each(n.Kids[0], func(u value.Value) error {
+			ru, err := e.rval(u)
+			if err != nil {
+				return err
+			}
+			return g.each(n.Kids[1], func(v value.Value) error {
+				rv, err := e.rval(v)
+				if err != nil {
+					return err
+				}
+				e.Num.Applies++
+				w, err := e.Ctx.Binary(n.Op, ru, rv)
+				if err != nil {
+					return err
+				}
+				if w.IsZero() {
+					return nil
+				}
+				return y.out(u)
+			})
+		})
+
+	case ast.OpAndAnd:
+		return g.each(n.Kids[0], func(u value.Value) error {
+			t, err := e.truth(u)
+			if err != nil {
+				return err
+			}
+			if !t {
+				return nil
+			}
+			return g.each(n.Kids[1], y.out)
+		})
+	case ast.OpOrOr:
+		return g.each(n.Kids[0], func(u value.Value) error {
+			t, err := e.truth(u)
+			if err != nil {
+				return err
+			}
+			if t {
+				return y.out(u)
+			}
+			return g.each(n.Kids[1], y.out)
+		})
+
+	case ast.OpIf, ast.OpCond:
+		return g.each(n.Kids[0], func(u value.Value) error {
+			t, err := e.truth(u)
+			if err != nil {
+				return err
+			}
+			if t {
+				return g.each(n.Kids[1], y.out)
+			}
+			if len(n.Kids) > 2 {
+				return g.each(n.Kids[2], y.out)
+			}
+			return nil
+		})
+
+	case ast.OpWhile:
+		return g.loop(nil, nil, n.Kids[0], n.Kids[1], y)
+	case ast.OpFor:
+		init, cond, post := n.Kids[0], n.Kids[1], n.Kids[2]
+		if init.Op == ast.OpNothing {
+			init = nil
+		}
+		if cond.Op == ast.OpNothing {
+			cond = nil
+		}
+		if post.Op == ast.OpNothing {
+			post = nil
+		}
+		return g.loop(init, post, cond, n.Kids[3], y)
+
+	case ast.OpSequence:
+		if err := g.drain(n.Kids[0]); err != nil {
+			return err
+		}
+		return g.each(n.Kids[1], y.out)
+	case ast.OpDiscard:
+		return g.drain(n.Kids[0])
+	case ast.OpImply:
+		return g.each(n.Kids[0], func(value.Value) error {
+			return g.each(n.Kids[1], y.out)
+		})
+	case ast.OpAlternate:
+		if err := g.each(n.Kids[0], y.out); err != nil {
+			return err
+		}
+		return g.each(n.Kids[1], y.out)
+
+	case ast.OpTo:
+		return g.each(n.Kids[0], func(u value.Value) error {
+			lo, err := e.rangeBound(u)
+			if err != nil {
+				return err
+			}
+			return g.each(n.Kids[1], func(v value.Value) error {
+				hi, err := e.rangeBound(v)
+				if err != nil {
+					return err
+				}
+				for i := lo; i <= hi; i++ {
+					if err := y.out(g.intVal(i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	case ast.OpToPrefix:
+		return g.each(n.Kids[0], func(v value.Value) error {
+			hi, err := e.rangeBound(v)
+			if err != nil {
+				return err
+			}
+			for i := int64(0); i < hi; i++ {
+				if err := y.out(g.intVal(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case ast.OpToOpen:
+		return g.each(n.Kids[0], func(u value.Value) error {
+			lo, err := e.rangeBound(u)
+			if err != nil {
+				return err
+			}
+			for i := lo; ; i++ {
+				if i-lo >= int64(e.Opts.MaxOpenRange) {
+					return fmt.Errorf("duel: unbounded generator exceeded %d values", e.Opts.MaxOpenRange)
+				}
+				if err := y.out(g.intVal(i)); err != nil {
+					return err
+				}
+			}
+		})
+
+	case ast.OpIndex:
+		return g.each(n.Kids[0], func(u value.Value) error {
+			ru, err := e.rval(u)
+			if err != nil {
+				return err
+			}
+			return g.each(n.Kids[1], func(v value.Value) error {
+				rv, err := e.rval(v)
+				if err != nil {
+					return err
+				}
+				e.Num.Applies++
+				w, err := e.Ctx.Index(ru, rv)
+				if err != nil {
+					return err
+				}
+				return y.out(w.WithSym(e.indexSym(u.Sym, v.Sym)))
+			})
+		})
+
+	case ast.OpWithDot, ast.OpWithArrow:
+		arrow := n.Op == ast.OpWithArrow
+		symOp := "."
+		if arrow {
+			symOp = "->"
+		}
+		if e.cDirectField(n.Kids[1]) {
+			return g.each(n.Kids[0], func(u value.Value) error {
+				w, err := e.directField(u, n.Kids[1].Name, arrow)
+				if err != nil {
+					return err
+				}
+				return y.out(w.WithSym(e.withSym(u.Sym, symOp, w.Sym)))
+			})
+		}
+		return g.each(n.Kids[0], func(u value.Value) error {
+			entry, err := e.makeWithEntry(u, arrow)
+			if err != nil {
+				return err
+			}
+			e.pushWith(entry)
+			defer e.popWith()
+			return g.each(n.Kids[1], func(w value.Value) error {
+				return y.out(w.WithSym(e.withSym(u.Sym, symOp, w.Sym)))
+			})
+		})
+
+	case ast.OpDfs, ast.OpBfs:
+		return g.expand(n, y)
+
+	case ast.OpSelect:
+		return g.sel(n, y)
+
+	case ast.OpUntil:
+		stopKid := n.Kids[1]
+		stopped := false
+		err := g.each(n.Kids[0], func(u value.Value) error {
+			stop, err := e.untilStops(u, stopKid, func(k *ast.Node) (bool, error) {
+				hit := false
+				err := g.each(k, func(c value.Value) error {
+					t, err := e.truth(c)
+					if err != nil {
+						return err
+					}
+					if t {
+						hit = true
+					}
+					return nil
+				})
+				return hit, err
+			})
+			if err != nil {
+				return err
+			}
+			if stop {
+				stopped = true
+				return errAbandon
+			}
+			return y.out(u)
+		})
+		if stopped && errors.Is(err, errAbandon) {
+			return nil
+		}
+		return err
+
+	case ast.OpIndexOf:
+		j := int64(0)
+		return g.each(n.Kids[0], func(u value.Value) error {
+			e.SetAlias(n.Name, value.MakeInt(e.Ctx.Arch.Int, j))
+			j++
+			return y.out(u)
+		})
+	case ast.OpDefine:
+		return g.each(n.Kids[0], func(u value.Value) error {
+			e.SetAlias(n.Name, u)
+			return y.out(u)
+		})
+
+	case ast.OpCount:
+		cnt := int64(0)
+		if err := g.each(n.Kids[0], func(value.Value) error { cnt++; return nil }); err != nil {
+			return err
+		}
+		return y.out(g.intVal(cnt))
+	case ast.OpSum:
+		var isum int64
+		var fsum float64
+		sawFloat := false
+		err := g.each(n.Kids[0], func(u value.Value) error {
+			ru, err := e.rval(u)
+			if err != nil {
+				return err
+			}
+			if ctype.IsFloat(ru.Type) {
+				sawFloat = true
+				fsum += ru.AsFloat()
+				return nil
+			}
+			if !ctype.IsInteger(ctype.Strip(ru.Type)) {
+				return fmt.Errorf("duel: +/ cannot sum values of type %s", ru.Type)
+			}
+			isum += ru.AsInt()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if sawFloat {
+			f := fsum + float64(isum)
+			v := value.MakeFloat(e.Ctx.Arch.Double, f)
+			v.Sym = e.atom(strconv.FormatFloat(f, 'g', -1, 64))
+			return y.out(v)
+		}
+		v := value.MakeInt(e.Ctx.Arch.Long, isum)
+		v.Sym = e.intAtom(isum)
+		return y.out(v)
+	case ast.OpAll, ast.OpAny:
+		res := n.Op == ast.OpAll // all: starts true; any: starts false
+		err := g.each(n.Kids[0], func(u value.Value) error {
+			t, err := e.truth(u)
+			if err != nil {
+				return err
+			}
+			if n.Op == ast.OpAll && !t {
+				res = false
+				return errAbandon
+			}
+			if n.Op == ast.OpAny && t {
+				res = true
+				return errAbandon
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errAbandon) {
+			return err
+		}
+		if res {
+			return y.out(g.intVal(1))
+		}
+		return y.out(g.intVal(0))
+
+	case ast.OpAssign, ast.OpAddAssign, ast.OpSubAssign, ast.OpMulAssign,
+		ast.OpDivAssign, ast.OpModAssign, ast.OpAndAssign, ast.OpOrAssign,
+		ast.OpXorAssign, ast.OpShlAssign, ast.OpShrAssign:
+		base := compoundBase(n.Op)
+		return g.each(n.Kids[0], func(u value.Value) error {
+			if !u.IsLvalue {
+				return fmt.Errorf("duel: %s is not an lvalue", u.Sym.S)
+			}
+			return g.each(n.Kids[1], func(v value.Value) error {
+				rv, err := e.rval(v)
+				if err != nil {
+					return err
+				}
+				if base != ast.OpInvalid {
+					old, err := e.rval(u)
+					if err != nil {
+						return err
+					}
+					e.Num.Applies++
+					if rv, err = e.Ctx.Binary(base, old, rv); err != nil {
+						return err
+					}
+				}
+				e.Num.Applies++
+				if err := e.Ctx.Store(u, rv); err != nil {
+					return err
+				}
+				return y.out(u)
+			})
+		})
+
+	case ast.OpDecl:
+		lv, err := e.declStorage(n)
+		if err != nil {
+			return err
+		}
+		if len(n.Kids) == 1 {
+			it := g.gen(n.Kids[0])
+			defer it.stop()
+			if v, ok := it.next(); ok {
+				rv, err := e.rval(v)
+				if err != nil {
+					return err
+				}
+				if err := e.Ctx.Store(lv, rv); err != nil {
+					return err
+				}
+			} else if it.err != nil {
+				return it.err
+			}
+		}
+		return nil
+
+	case ast.OpCall:
+		return g.call(n, y)
+	}
+	return fmt.Errorf("duel: chan backend: unimplemented operator %s", n.Op)
+}
+
+// each runs body for every value of n, with full unwinding on error.
+func (g *cgen) each(n *ast.Node, body func(value.Value) error) error {
+	it := g.gen(n)
+	defer it.stop()
+	for {
+		v, ok := it.next()
+		if !ok {
+			return it.err
+		}
+		if err := body(v); err != nil {
+			return err
+		}
+	}
+}
+
+func (g *cgen) drain(n *ast.Node) error {
+	return g.each(n, func(value.Value) error { return nil })
+}
+
+func (g *cgen) intVal(i int64) value.Value {
+	v := value.MakeInt(g.env.Ctx.Arch.Int, i)
+	v.Sym = g.env.intAtom(i)
+	return v
+}
+
+func (g *cgen) loop(init, post, cond, body *ast.Node, y yielder) error {
+	e := g.env
+	if init != nil {
+		if err := g.drain(init); err != nil {
+			return err
+		}
+	}
+	for iter := 0; ; iter++ {
+		if iter >= e.Opts.MaxOpenRange {
+			return fmt.Errorf("duel: loop exceeded %d iterations", e.Opts.MaxOpenRange)
+		}
+		if cond != nil {
+			sawZero := false
+			err := g.each(cond, func(u value.Value) error {
+				t, err := e.truth(u)
+				if err != nil {
+					return err
+				}
+				if !t {
+					sawZero = true
+					return errAbandon
+				}
+				return nil
+			})
+			if err != nil && !(errors.Is(err, errAbandon) && sawZero) {
+				return err
+			}
+			if sawZero {
+				return nil
+			}
+		}
+		if err := g.each(body, y.out); err != nil {
+			return err
+		}
+		if post != nil {
+			if err := g.drain(post); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (g *cgen) expand(n *ast.Node, y yielder) error {
+	e := g.env
+	bfs := n.Op == ast.OpBfs
+	return g.each(n.Kids[0], func(u value.Value) error {
+		ru, err := e.rval(u)
+		if err != nil {
+			return err
+		}
+		if !ctype.IsPointer(ru.Type) {
+			return fmt.Errorf("duel: %s is not a pointer (%s); cannot expand with -->", u.Sym.S, ru.Type)
+		}
+		if !e.validPointer(ru) {
+			return nil
+		}
+		var visited map[uint64]bool
+		if e.Opts.CycleDetect {
+			visited = map[uint64]bool{ru.AsUint(): true}
+		}
+		work := []expandItem{{val: ru}}
+		visits := 0
+		for len(work) > 0 {
+			var it expandItem
+			if bfs {
+				it = work[0]
+				work = work[1:]
+			} else {
+				it = work[len(work)-1]
+				work = work[:len(work)-1]
+			}
+			visits++
+			if visits > e.Opts.MaxExpand {
+				return fmt.Errorf("duel: --> expansion exceeded %d nodes (cycle? enable cycle detection)", e.Opts.MaxExpand)
+			}
+			sym := e.dfsSym(u.Sym, it.steps)
+			cur := it.val.WithSym(sym)
+			sv, err := e.Ctx.Deref(cur)
+			if err != nil {
+				return err
+			}
+			entry := withEntry{orig: cur}
+			if _, ok := ctype.Strip(sv.Type).(*ctype.Struct); ok {
+				entry.scope = sv.WithSym(sym)
+				entry.hasScope = true
+			}
+			e.pushWith(entry)
+			var kids []expandItem
+			kerr := g.each(n.Kids[1], func(w value.Value) error {
+				rw, err := e.rval(w)
+				if err != nil {
+					return err
+				}
+				if !ctype.IsPointer(rw.Type) {
+					return fmt.Errorf("duel: --> step %s is not a pointer (%s)", w.Sym.S, rw.Type)
+				}
+				if !e.validPointer(rw) {
+					return nil
+				}
+				if visited != nil {
+					a := rw.AsUint()
+					if visited[a] {
+						return nil
+					}
+					visited[a] = true
+				}
+				steps := make([]string, len(it.steps)+1)
+				copy(steps, it.steps)
+				steps[len(it.steps)] = w.Sym.S
+				kids = append(kids, expandItem{val: rw, steps: steps})
+				return nil
+			})
+			e.popWith()
+			if kerr != nil {
+				return kerr
+			}
+			if bfs {
+				work = append(work, kids...)
+			} else {
+				for i := len(kids) - 1; i >= 0; i-- {
+					work = append(work, kids[i])
+				}
+			}
+			if err := y.out(cur); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (g *cgen) sel(n *ast.Node, y yielder) error {
+	e := g.env
+	var idxs []int64
+	err := g.each(n.Kids[1], func(v value.Value) error {
+		rv, err := e.rval(v)
+		if err != nil {
+			return err
+		}
+		if !ctype.IsInteger(ctype.Strip(rv.Type)) {
+			return fmt.Errorf("duel: [[...]] index %s is not an integer (%s)", v.Sym.S, rv.Type)
+		}
+		i := rv.AsInt()
+		if i < 0 {
+			return fmt.Errorf("duel: [[...]] index %d is negative", i)
+		}
+		idxs = append(idxs, i)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	need := make(map[int64]bool, len(idxs))
+	var maxIdx int64
+	for _, i := range idxs {
+		need[i] = true
+		if i > maxIdx {
+			maxIdx = i
+		}
+	}
+	cache := make(map[int64]value.Value, len(need))
+	// Pull n.Kids[0] lazily up to the largest requested index.
+	it := g.gen(n.Kids[0])
+	defer it.stop()
+	for j := int64(0); j <= maxIdx; j++ {
+		u, ok := it.next()
+		if !ok {
+			if it.err != nil {
+				return it.err
+			}
+			break
+		}
+		if need[j] {
+			cache[j] = u
+		}
+	}
+	for _, i := range idxs {
+		u, ok := cache[i]
+		if !ok {
+			continue
+		}
+		if err := y.out(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *cgen) call(n *ast.Node, y yielder) error {
+	e := g.env
+	callee := n.Kids[0]
+	if callee.Op == ast.OpName {
+		if _, ok := e.Ctx.D.GetTargetVariable(callee.Name); !ok {
+			switch callee.Name {
+			case "frame":
+				if len(n.Kids) != 2 {
+					return fmt.Errorf("duel: frame() takes exactly one argument")
+				}
+				return g.each(n.Kids[1], func(a value.Value) error {
+					ra, err := e.rval(a)
+					if err != nil {
+						return err
+					}
+					lvl := int(ra.AsInt())
+					if lvl < 0 || lvl >= e.Ctx.D.NumFrames() {
+						return fmt.Errorf("duel: no frame %d (%d active)", lvl, e.Ctx.D.NumFrames())
+					}
+					v := value.Value{FrameScope: lvl + 1}
+					v.Sym = e.atom("frame(" + strconv.Itoa(lvl) + ")")
+					return y.out(v)
+				})
+			case "frames":
+				return y.out(g.intVal(int64(e.Ctx.D.NumFrames())))
+			}
+		}
+	}
+	return g.each(callee, func(fv value.Value) error {
+		rf, err := e.rval(fv)
+		if err != nil {
+			return err
+		}
+		pt, ok := ctype.Strip(rf.Type).(*ctype.Pointer)
+		var sig *ctype.Func
+		if ok {
+			sig, _ = ctype.Strip(pt.Elem).(*ctype.Func)
+		}
+		if sig == nil {
+			return fmt.Errorf("duel: %s is not a function (%s)", fv.Sym.S, fv.Type)
+		}
+		args := make([]value.Value, len(n.Kids)-1)
+		var rec func(i int) error
+		rec = func(i int) error {
+			if i == len(args) {
+				return g.callOnce(fv, sig, rf.AsUint(), args, y)
+			}
+			return g.each(n.Kids[i+1], func(a value.Value) error {
+				ra, err := e.rval(a)
+				if err != nil {
+					return err
+				}
+				args[i] = ra.WithSym(a.Sym)
+				return rec(i + 1)
+			})
+		}
+		return rec(0)
+	})
+}
+
+func (g *cgen) callOnce(fv value.Value, sig *ctype.Func, addr uint64, args []value.Value, y yielder) error {
+	e := g.env
+	if len(args) < len(sig.Params) {
+		return fmt.Errorf("duel: too few arguments in call to %s (%d < %d)", fv.Sym.S, len(args), len(sig.Params))
+	}
+	in := make([]dbgif.Value, len(args))
+	for i, a := range args {
+		conv := a
+		if i < len(sig.Params) {
+			var err error
+			conv, err = e.Ctx.Convert(a, sig.Params[i])
+			if err != nil {
+				return err
+			}
+		}
+		in[i] = dbgif.Value{Type: conv.Type, Bytes: conv.Bytes}
+	}
+	e.Num.Applies++
+	out, err := e.Ctx.D.CallTargetFunc(addr, in)
+	if err != nil {
+		return fmt.Errorf("duel: call to %s: %w", callSymName(fv.Sym.S), err)
+	}
+	if out.Type == nil || ctype.IsVoid(out.Type) {
+		return nil
+	}
+	res := value.Value{Type: out.Type, Bytes: out.Bytes}
+	if e.Opts.Symbolic {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = a.Sym.S
+		}
+		res.Sym = e.atom(fv.Sym.At(value.PrecPostfix) + "(" + strings.Join(parts, ", ") + ")")
+		res.Sym.Prec = value.PrecPostfix
+	}
+	return y.out(res)
+}

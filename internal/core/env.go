@@ -1,0 +1,605 @@
+// Package core implements DUEL's generator evaluator — the paper's primary
+// contribution. An expression is evaluated by driving its AST: every node
+// can produce zero or more values, and the operators enumerate their
+// operands' value sequences exactly as the paper's operational semantics
+// prescribe (binary operators re-evaluate their right operand for every
+// value of the left one, comparisons yield their left operand, with/dfs
+// manipulate a name-resolution stack, and so on).
+//
+// Three interchangeable backends realize the same semantics:
+//
+//   - push: a yield-callback evaluator (idiomatic Go; the default),
+//   - machine: the paper's explicit per-node state/NOVALUE state machine,
+//   - chan: goroutine-per-generator coroutines connected by channels.
+//
+// Differential tests check that the backends agree value-for-value.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"duel/internal/ctype"
+	"duel/internal/dbgif"
+	"duel/internal/duel/ast"
+	"duel/internal/duel/value"
+)
+
+// Options control evaluation.
+type Options struct {
+	// Symbolic enables computation of symbolic values (derivation
+	// strings). Disabling it reproduces the paper's observation that the
+	// symbolic computation often costs more than the value computation.
+	Symbolic bool
+	// CycleDetect makes --> and -->> skip already-visited nodes. The
+	// paper's implementation "does not handle cycles"; this is the
+	// documented extension (off = faithful).
+	CycleDetect bool
+	// CScoping gives '.' and '->' C field-access semantics when the right
+	// side is a bare name: the field resolves directly and no with-scope
+	// opens, so nothing leaks into sibling operands ("p->x = x" reads the
+	// parameter x, as in C). The micro-C interpreter sets it for debuggee
+	// code; DUEL sessions leave it off, keeping the paper's coroutine
+	// scoping (see TestWithScopeOpenDuringAssignment).
+	CScoping bool
+	// LookupCache memoizes target-symbol resolution for the duration of
+	// one evaluation — the paper's anticipated optimization ("for many
+	// Duel expressions, run-time type checking and symbol lookup could be
+	// done at compile time"). It assumes the frame layout does not change
+	// mid-expression; calls into the target that push frames do not
+	// disturb it because resolved addresses stay valid for the selected
+	// frame. Off by default (faithful).
+	LookupCache bool
+	// MaxOpenRange bounds the unbounded generator "e.." so a runaway
+	// expression fails loudly instead of hanging.
+	MaxOpenRange int
+	// MaxSteps bounds the total number of values produced by one Eval
+	// (0 = no bound).
+	MaxSteps int
+	// MaxExpand bounds the number of nodes one --> expansion visits.
+	MaxExpand int
+	// MaxCStringLen bounds string reads from the target.
+	MaxCStringLen int
+	// Trace, when non-nil, makes the machine backend log every eval call
+	// in the style of the paper's §Semantics walkthrough of
+	// (1..3)+(5,9): one line per produced value (or NOVALUE) per node,
+	// indented by recursion depth. Other backends ignore it.
+	Trace io.Writer
+}
+
+// DefaultOptions returns the standard evaluation options.
+func DefaultOptions() Options {
+	return Options{
+		Symbolic:      true,
+		CycleDetect:   false,
+		MaxOpenRange:  1 << 22,
+		MaxSteps:      0,
+		MaxExpand:     1 << 22,
+		MaxCStringLen: 200,
+	}
+}
+
+// Counters instrument evaluation; the F2 cost-breakdown experiment reads
+// them.
+type Counters struct {
+	Lookups  int64 // symbol-table fetches (the paper's "100 lookups of i")
+	Applies  int64 // operator applications
+	SymOps   int64 // symbolic-value compositions
+	Values   int64 // values produced (all nodes)
+	MemReads int64 // lvalue loads
+}
+
+// errStop is the internal sentinel used to terminate enumeration early
+// (reductions, while, @). It never escapes the package.
+var errStop = errors.New("duel: stop enumeration")
+
+// withEntry is one element of the name-resolution stack manipulated by the
+// with operator (push/pop in the paper).
+type withEntry struct {
+	// orig is the operand value, what "_" refers to.
+	orig value.Value
+	// scope is the opened struct value (deref'd for ->), or a frame
+	// scope; invalid (zero) when the operand opens no fields.
+	scope    value.Value
+	hasScope bool
+	// badType is set when the operand was a null or invalid pointer to a
+	// struct: its field names still resolve here, but resolving one is an
+	// illegal memory reference. This makes the paper's guard idiom
+	// "hash[..1024]->(if (_ && scope > 5) name)" work: "_" tests the
+	// pointer, and the fields fault only if actually touched.
+	badType *ctype.Struct
+	badAddr uint64
+}
+
+// Env is the evaluation state for one DUEL session: the debugger interface,
+// aliases, DUEL-declared variables and the with name-resolution stack.
+type Env struct {
+	Ctx  *value.Ctx
+	Opts Options
+	Num  Counters
+
+	aliases    map[string]value.Value
+	aliasOrder []string
+	withStack  []withEntry
+	varCache   map[string]dbgif.VarInfo
+	declAddrs  map[*ast.Node]uint64 // storage of DUEL declarations, per node
+	strAddrs   map[*ast.Node]uint64 // interned string literals, per node
+	steps      int
+}
+
+// NewEnv returns a fresh environment over the given debugger.
+func NewEnv(d dbgif.Debugger, opts Options) *Env {
+	return &Env{
+		Ctx:       &value.Ctx{Arch: d.Arch(), D: d},
+		Opts:      opts,
+		aliases:   make(map[string]value.Value),
+		declAddrs: make(map[*ast.Node]uint64),
+		strAddrs:  make(map[*ast.Node]uint64),
+	}
+}
+
+// ResetCounters zeroes the instrumentation counters.
+func (e *Env) ResetCounters() { e.Num = Counters{} }
+
+// beginEval prepares per-command state.
+func (e *Env) beginEval() {
+	e.steps = 0
+	e.withStack = e.withStack[:0]
+	if e.Opts.LookupCache {
+		e.varCache = make(map[string]dbgif.VarInfo)
+	} else {
+		e.varCache = nil
+	}
+}
+
+func (e *Env) step() error {
+	e.Num.Values++
+	e.steps++
+	if e.Opts.MaxSteps > 0 && e.steps > e.Opts.MaxSteps {
+		return fmt.Errorf("duel: evaluation exceeded %d values; aborting", e.Opts.MaxSteps)
+	}
+	return nil
+}
+
+// --- aliases ---
+
+// Alias returns the aliased value.
+func (e *Env) Alias(name string) (value.Value, bool) {
+	v, ok := e.aliases[name]
+	return v, ok
+}
+
+// SetAlias defines name as an alias for v (the paper's define / alias()).
+func (e *Env) SetAlias(name string, v value.Value) {
+	if _, exists := e.aliases[name]; !exists {
+		e.aliasOrder = append(e.aliasOrder, name)
+	}
+	e.aliases[name] = v
+}
+
+// ClearAliases removes all aliases (the debugger's "duel clear" command).
+func (e *Env) ClearAliases() {
+	e.aliases = make(map[string]value.Value)
+	e.aliasOrder = nil
+	e.declAddrs = make(map[*ast.Node]uint64)
+}
+
+// Aliases lists alias names in definition order.
+func (e *Env) Aliases() []string {
+	out := make([]string, len(e.aliasOrder))
+	copy(out, e.aliasOrder)
+	return out
+}
+
+// --- with stack ---
+
+func (e *Env) pushWith(w withEntry) { e.withStack = append(e.withStack, w) }
+func (e *Env) popWith()             { e.withStack = e.withStack[:len(e.withStack)-1] }
+
+// --- name resolution (the paper's fetch) ---
+
+// fetch resolves a name: with-scopes innermost first, then aliases, then
+// target variables (current frame, then globals and functions), then
+// enumeration constants.
+func (e *Env) fetch(name string) (value.Value, error) {
+	e.Num.Lookups++
+	if name == "_" {
+		for i := len(e.withStack) - 1; i >= 0; i-- {
+			w := e.withStack[i]
+			return w.orig, nil
+		}
+		return value.Value{}, fmt.Errorf("duel: \"_\" used outside of a with scope ('.', '->', '-->', '@')")
+	}
+	for i := len(e.withStack) - 1; i >= 0; i-- {
+		w := e.withStack[i]
+		if w.badType != nil {
+			if _, ok := w.badType.Field(name); ok {
+				return value.Value{}, &value.MemError{
+					Context: w.orig.Sym.S + "->" + name,
+					Sym:     w.orig.Sym.S,
+					Addr:    w.badAddr,
+				}
+			}
+		}
+		if !w.hasScope {
+			continue
+		}
+		if w.scope.FrameScope > 0 {
+			if vi, ok := e.Ctx.D.FrameVariable(w.scope.FrameScope-1, name); ok {
+				lv := value.Lvalue(vi.Type, vi.Addr)
+				lv.Sym = e.atom(name)
+				return lv, nil
+			}
+			continue
+		}
+		if value.HasField(w.scope, name) {
+			f, err := e.Ctx.Field(w.scope, name)
+			if err != nil {
+				return value.Value{}, err
+			}
+			f.Sym = e.atom(name)
+			return f, nil
+		}
+	}
+	if v, ok := e.aliases[name]; ok {
+		v.Sym = e.atom(name)
+		return v, nil
+	}
+	if e.varCache != nil {
+		if vi, ok := e.varCache[name]; ok {
+			lv := value.Lvalue(vi.Type, vi.Addr)
+			lv.Sym = e.atom(name)
+			return lv, nil
+		}
+	}
+	if vi, ok := e.Ctx.D.GetTargetVariable(name); ok {
+		if e.varCache != nil {
+			e.varCache[name] = vi
+		}
+		lv := value.Lvalue(vi.Type, vi.Addr)
+		lv.Sym = e.atom(name)
+		return lv, nil
+	}
+	if t, v, ok := e.Ctx.D.LookupEnumConst(name); ok {
+		ev := value.MakeInt(t, v)
+		ev.Sym = e.atom(name)
+		return ev, nil
+	}
+	return value.Value{}, fmt.Errorf("duel: no symbol %q in current context", name)
+}
+
+// --- symbolic helpers (gated on Opts.Symbolic) ---
+
+func (e *Env) atom(s string) value.Sym {
+	if !e.Opts.Symbolic {
+		return value.Sym{}
+	}
+	e.Num.SymOps++
+	return value.Atom(s)
+}
+
+func (e *Env) intAtom(i int64) value.Sym {
+	if !e.Opts.Symbolic {
+		return value.Sym{}
+	}
+	e.Num.SymOps++
+	return value.Atom(strconv.FormatInt(i, 10))
+}
+
+func (e *Env) binSym(a value.Sym, op string, b value.Sym, prec int) value.Sym {
+	if !e.Opts.Symbolic {
+		return value.Sym{}
+	}
+	e.Num.SymOps++
+	return value.BinarySym(a, op, b, prec)
+}
+
+func (e *Env) preSym(op string, a value.Sym) value.Sym {
+	if !e.Opts.Symbolic {
+		return value.Sym{}
+	}
+	e.Num.SymOps++
+	return value.Sym{S: op + a.At(value.PrecUnary), Prec: value.PrecUnary}
+}
+
+func (e *Env) postSym(a value.Sym, op string) value.Sym {
+	if !e.Opts.Symbolic {
+		return value.Sym{}
+	}
+	e.Num.SymOps++
+	return value.Sym{S: a.At(value.PrecPostfix) + op, Prec: value.PrecPostfix}
+}
+
+func (e *Env) indexSym(base value.Sym, idx value.Sym) value.Sym {
+	if !e.Opts.Symbolic {
+		return value.Sym{}
+	}
+	e.Num.SymOps++
+	return value.Sym{S: base.At(value.PrecPostfix) + "[" + idx.S + "]", Prec: value.PrecPostfix}
+}
+
+// withSym composes the symbolic value of a with expression: base->field or
+// base.field. If the inner value's symbolic equals the base's (it came from
+// "_"), it is passed through unchanged, so "x[..10].if (_ < 0) _" displays
+// as "x[3]", per the paper.
+func (e *Env) withSym(base value.Sym, op string, inner value.Sym) value.Sym {
+	if !e.Opts.Symbolic {
+		return value.Sym{}
+	}
+	if inner.S == base.S {
+		return inner
+	}
+	e.Num.SymOps++
+	return value.Sym{S: base.At(value.PrecPostfix) + op + inner.At(value.PrecPostfix), Prec: value.PrecPostfix}
+}
+
+// groupSym handles the symbolic value of a parenthesized expression: it
+// passes through unchanged, because symbolic composition re-inserts
+// parentheses from the recorded precedence exactly where they are needed
+// ("6*8" stays "6*8"; "x+1" under * becomes "(x+1)*2").
+func (e *Env) groupSym(s value.Sym) value.Sym { return s }
+
+// dfsSym renders a dfs/bfs path: root symbolic plus the step names, with
+// runs of three or more identical steps compressed to "-->step[[n]]" (the
+// paper compresses "->a->a" chains to "-->a[[2]]"; its own examples print
+// runs of up to three steps expanded, so the threshold here is three —
+// see EXPERIMENTS.md T1 notes).
+func (e *Env) dfsSym(root value.Sym, steps []string) value.Sym {
+	if !e.Opts.Symbolic {
+		return value.Sym{}
+	}
+	e.Num.SymOps++
+	const compressAt = 3
+	s := root.At(value.PrecPostfix)
+	for i := 0; i < len(steps); {
+		j := i
+		for j < len(steps) && steps[j] == steps[i] {
+			j++
+		}
+		run := j - i
+		if run >= compressAt {
+			s += "-->" + steps[i] + "[[" + strconv.Itoa(run) + "]]"
+		} else {
+			for k := 0; k < run; k++ {
+				s += "->" + steps[i]
+			}
+		}
+		i = j
+	}
+	return value.Sym{S: s, Prec: value.PrecPostfix}
+}
+
+// --- storage helpers ---
+
+// declStorage returns (allocating on first use) the target storage of a
+// DUEL declaration node, and registers the alias.
+func (e *Env) declStorage(n *ast.Node) (value.Value, error) {
+	if addr, ok := e.declAddrs[n]; ok {
+		lv := value.Lvalue(n.Type, addr)
+		lv.Sym = e.atom(n.Name)
+		return lv, nil
+	}
+	size := n.Type.Size()
+	if size == 0 {
+		return value.Value{}, fmt.Errorf("duel: declared variable %q has incomplete type %s", n.Name, n.Type)
+	}
+	addr, err := e.Ctx.D.AllocTargetSpace(size, n.Type.Align())
+	if err != nil {
+		return value.Value{}, fmt.Errorf("duel: allocating %q: %w", n.Name, err)
+	}
+	if err := e.Ctx.D.PutTargetBytes(addr, make([]byte, size)); err != nil {
+		return value.Value{}, err
+	}
+	e.declAddrs[n] = addr
+	lv := value.Lvalue(n.Type, addr)
+	lv.Sym = e.atom(n.Name)
+	e.SetAlias(n.Name, value.Lvalue(n.Type, addr))
+	return lv, nil
+}
+
+// internString materializes a string literal in the target (once per node)
+// and returns it as a char-array lvalue, so it decays to char* like a C
+// string literal.
+func (e *Env) internString(n *ast.Node) (value.Value, error) {
+	arch := e.Ctx.Arch
+	t := arch.ArrayOf(arch.Char, len(n.Str)+1)
+	if addr, ok := e.strAddrs[n]; ok {
+		lv := value.Lvalue(t, addr)
+		lv.Sym = e.atom(n.Text)
+		return lv, nil
+	}
+	addr, err := e.Ctx.D.AllocTargetSpace(len(n.Str)+1, 1)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if err := e.Ctx.D.PutTargetBytes(addr, append([]byte(n.Str), 0)); err != nil {
+		return value.Value{}, err
+	}
+	e.strAddrs[n] = addr
+	lv := value.Lvalue(t, addr)
+	lv.Sym = e.atom(n.Text)
+	return lv, nil
+}
+
+// rval performs lvalue conversion, counting loads for the F2 breakdown.
+func (e *Env) rval(v value.Value) (value.Value, error) {
+	if v.IsLvalue {
+		e.Num.MemReads++
+	}
+	return e.Ctx.Rval(v)
+}
+
+// validPointer reports whether pointer rvalue p is non-null and points to
+// readable memory of its pointee's size (the paper: "until a NULL pointer
+// or an invalid pointer terminates the sequence").
+func (e *Env) validPointer(p value.Value) bool {
+	st := ctype.Strip(p.Type)
+	pt, ok := st.(*ctype.Pointer)
+	if !ok {
+		return false
+	}
+	addr := p.AsUint()
+	if addr == 0 {
+		return false
+	}
+	size := pt.Elem.Size()
+	if size == 0 {
+		size = 1
+	}
+	return e.Ctx.D.ValidTargetAddr(addr, size)
+}
+
+// FormatScalar renders a scalar value for the curly display override and
+// reductions; the display package provides the richer top-level formatting.
+func (e *Env) FormatScalar(v value.Value) (string, error) {
+	rv, err := e.rval(v)
+	if err != nil {
+		return "", err
+	}
+	st := ctype.Strip(rv.Type)
+	switch {
+	case ctype.IsFloat(st):
+		return strconv.FormatFloat(rv.AsFloat(), 'g', -1, 64), nil
+	case ctype.IsPointer(st):
+		return fmt.Sprintf("0x%x", rv.AsUint()), nil
+	case ctype.IsInteger(st):
+		if ctype.IsSigned(st) {
+			return strconv.FormatInt(rv.AsInt(), 10), nil
+		}
+		return strconv.FormatUint(rv.AsUint(), 10), nil
+	}
+	return "", fmt.Errorf("duel: cannot format value of type %s", rv.Type)
+}
+
+// makeWithEntry builds the name-resolution entry for one operand of '.' or
+// '->': the original value (for "_"), the opened struct scope, or — for a
+// null/invalid pointer — the lazily-faulting field set.
+func (e *Env) makeWithEntry(u value.Value, arrow bool) (withEntry, error) {
+	entry := withEntry{orig: u}
+	if u.FrameScope > 0 {
+		entry.scope = u
+		entry.hasScope = true
+		return entry, nil
+	}
+	if !arrow {
+		if _, ok := ctype.Strip(u.Type).(*ctype.Struct); ok {
+			entry.scope = u
+			entry.hasScope = true
+		}
+		return entry, nil
+	}
+	ru, err := e.rval(u)
+	if err != nil {
+		return withEntry{}, err
+	}
+	entry.orig = ru.WithSym(u.Sym)
+	if !ctype.IsPointer(ru.Type) {
+		return withEntry{}, fmt.Errorf("duel: %s is not a pointer (%s); cannot apply ->", u.Sym.S, ru.Type)
+	}
+	elem, _ := ctype.PointerElem(ru.Type)
+	est, isStruct := ctype.Strip(elem).(*ctype.Struct)
+	if !e.validPointer(ru) {
+		if isStruct {
+			entry.badType = est
+			entry.badAddr = ru.AsUint()
+		}
+		return entry, nil
+	}
+	if isStruct {
+		sv, err := e.Ctx.Deref(ru)
+		if err != nil {
+			return withEntry{}, err
+		}
+		entry.scope = sv
+		entry.hasScope = true
+	}
+	return entry, nil
+}
+
+// untilStops decides whether e@n stops at value u. For a constant n it
+// compares u == n; otherwise it opens u's scope and asks drainCond to
+// evaluate the condition node, reporting whether any value was non-zero.
+func (e *Env) untilStops(u value.Value, stopKid *ast.Node, drainCond func(*ast.Node) (bool, error)) (bool, error) {
+	if stopKid.Op == ast.OpConst || stopKid.Op == ast.OpFConst {
+		ru, err := e.rval(u)
+		if err != nil {
+			return false, err
+		}
+		var stop value.Value
+		if stopKid.Op == ast.OpConst {
+			stop = e.constValue(stopKid)
+		} else {
+			stop = value.MakeFloat(e.Ctx.Arch.Double, stopKid.Float)
+		}
+		e.Num.Applies++
+		w, err := e.Ctx.Binary(ast.OpEq, ru, stop)
+		if err != nil {
+			return false, err
+		}
+		return !w.IsZero(), nil
+	}
+	entry := withEntry{orig: u}
+	ru, err := e.rval(u)
+	if err == nil {
+		if _, ok := ctype.Strip(ru.Type).(*ctype.Struct); ok {
+			entry.scope = ru
+			entry.hasScope = true
+		} else if ctype.IsPointer(ru.Type) && e.validPointer(ru) {
+			if sv, derr := e.Ctx.Deref(ru); derr == nil {
+				if _, ok := ctype.Strip(sv.Type).(*ctype.Struct); ok {
+					entry.scope = sv
+					entry.hasScope = true
+				}
+			}
+		}
+		entry.orig = ru.WithSym(u.Sym)
+	}
+	e.pushWith(entry)
+	defer e.popWith()
+	return drainCond(stopKid)
+}
+
+// directField resolves C-style field access u.name / u->name without
+// opening a with-scope (Options.CScoping). "_" still denotes the operand.
+func (e *Env) directField(u value.Value, name string, arrow bool) (value.Value, error) {
+	entry, err := e.makeWithEntry(u, arrow)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if name == "_" {
+		return entry.orig, nil
+	}
+	if entry.badType != nil {
+		if _, ok := entry.badType.Field(name); ok {
+			return value.Value{}, &value.MemError{
+				Context: u.Sym.S + "->" + name,
+				Sym:     u.Sym.S,
+				Addr:    entry.badAddr,
+			}
+		}
+	}
+	if entry.hasScope {
+		if entry.scope.FrameScope > 0 {
+			if vi, ok := e.Ctx.D.FrameVariable(entry.scope.FrameScope-1, name); ok {
+				lv := value.Lvalue(vi.Type, vi.Addr)
+				lv.Sym = e.atom(name)
+				return lv, nil
+			}
+			return value.Value{}, fmt.Errorf("duel: no local %q in frame %d", name, entry.scope.FrameScope-1)
+		}
+		f, err := e.Ctx.Field(entry.scope, name)
+		if err != nil {
+			return value.Value{}, err
+		}
+		f.Sym = e.atom(name)
+		return f, nil
+	}
+	return value.Value{}, fmt.Errorf("duel: %s has no member %q", u.Sym.S, name)
+}
+
+// cDirectField reports whether the with node should use C field semantics.
+func (e *Env) cDirectField(kid *ast.Node) bool {
+	return e.Opts.CScoping && kid.Op == ast.OpName
+}

@@ -1,0 +1,986 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"duel/internal/ctype"
+	"duel/internal/dbgif"
+	"duel/internal/duel/ast"
+	"duel/internal/duel/value"
+)
+
+// pushBackend is the default evaluator: each operator enumerates its
+// operands' values with nested yield callbacks. It implements exactly the
+// paper's operational semantics (the "simplified code" with yield), compiled
+// to Go closures instead of per-node state machines.
+type pushBackend struct{}
+
+func init() { RegisterBackend(pushBackend{}) }
+
+// Name implements Backend.
+func (pushBackend) Name() string { return "push" }
+
+// Eval implements Backend.
+func (pushBackend) Eval(e *Env, n *ast.Node, emit EmitFn) error {
+	e.beginEval()
+	err := e.evalPush(n, emit)
+	if errors.Is(err, errStop) {
+		return fmt.Errorf("duel: internal error: stop sentinel escaped evaluation")
+	}
+	return err
+}
+
+// evalPush produces every value of n through yield.
+func (e *Env) evalPush(n *ast.Node, yield EmitFn) error {
+	if err := e.step(); err != nil {
+		return err
+	}
+	switch n.Op {
+	case ast.OpConst:
+		return yield(e.constValue(n))
+	case ast.OpFConst:
+		v := value.MakeFloat(e.Ctx.Arch.Double, n.Float)
+		v.Sym = e.atom(n.Text)
+		return yield(v)
+	case ast.OpStr:
+		v, err := e.internString(n)
+		if err != nil {
+			return err
+		}
+		return yield(v)
+	case ast.OpName:
+		v, err := e.fetch(n.Name)
+		if err != nil {
+			return err
+		}
+		return yield(v)
+	case ast.OpGroup:
+		return e.evalPush(n.Kids[0], func(v value.Value) error {
+			return yield(v.WithSym(e.groupSym(v.Sym)))
+		})
+	case ast.OpCurly:
+		return e.evalPush(n.Kids[0], func(v value.Value) error {
+			s, err := e.FormatScalar(v)
+			if err != nil {
+				return err
+			}
+			return yield(v.WithSym(e.atom(s)))
+		})
+	case ast.OpNothing:
+		return nil
+
+	// --- C unary operators ---
+	case ast.OpNeg, ast.OpPos, ast.OpNot, ast.OpBitNot:
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			ru, err := e.rval(u)
+			if err != nil {
+				return err
+			}
+			e.Num.Applies++
+			w, err := e.Ctx.Unary(n.Op, ru)
+			if err != nil {
+				return err
+			}
+			return yield(w.WithSym(e.preSym(n.Op.Symbol(), u.Sym)))
+		})
+	case ast.OpIndirect:
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			ru, err := e.rval(u)
+			if err != nil {
+				return err
+			}
+			e.Num.Applies++
+			w, err := e.Ctx.Deref(ru)
+			if err != nil {
+				return err
+			}
+			return yield(w.WithSym(e.preSym("*", u.Sym)))
+		})
+	case ast.OpAddrOf:
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			e.Num.Applies++
+			w, err := e.Ctx.AddrOf(u)
+			if err != nil {
+				return err
+			}
+			return yield(w.WithSym(e.preSym("&", u.Sym)))
+		})
+	case ast.OpCast:
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			ru, err := e.rval(u)
+			if err != nil {
+				return err
+			}
+			e.Num.Applies++
+			w, err := e.Ctx.Convert(ru, n.Type)
+			if err != nil {
+				return err
+			}
+			return yield(w.WithSym(e.preSym("("+n.Type.String()+")", u.Sym)))
+		})
+	case ast.OpPreInc, ast.OpPreDec, ast.OpPostInc, ast.OpPostDec:
+		return e.evalIncDec(n, yield)
+	case ast.OpSizeofE:
+		var size int
+		found := false
+		err := e.evalPush(n.Kids[0], func(u value.Value) error {
+			size = ctype.Strip(u.Type).Size()
+			found = true
+			return errStop
+		})
+		if err != nil && !errors.Is(err, errStop) {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("duel: sizeof operand produced no values")
+		}
+		v := value.MakeInt(e.Ctx.Arch.ULong, int64(size))
+		v.Sym = e.intAtom(int64(size))
+		return yield(v)
+	case ast.OpSizeofT:
+		v := value.MakeInt(e.Ctx.Arch.ULong, int64(n.Type.Size()))
+		v.Sym = e.intAtom(int64(n.Type.Size()))
+		return yield(v)
+
+	// --- C binary operators (single-valued apply, generator operands) ---
+	case ast.OpPlus, ast.OpMinus, ast.OpMultiply, ast.OpDivide, ast.OpModulo,
+		ast.OpShl, ast.OpShr, ast.OpBitAnd, ast.OpBitOr, ast.OpBitXor,
+		ast.OpLt, ast.OpGt, ast.OpLe, ast.OpGe, ast.OpEq, ast.OpNe:
+		prec := opPrec(n.Op)
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			ru, err := e.rval(u)
+			if err != nil {
+				return err
+			}
+			return e.evalPush(n.Kids[1], func(v value.Value) error {
+				rv, err := e.rval(v)
+				if err != nil {
+					return err
+				}
+				e.Num.Applies++
+				w, err := e.Ctx.Binary(n.Op, ru, rv)
+				if err != nil {
+					return err
+				}
+				return yield(w.WithSym(e.binSym(u.Sym, n.Op.Symbol(), v.Sym, prec)))
+			})
+		})
+
+	// --- DUEL ?-comparisons: yield the left operand when true ---
+	case ast.OpIfLt, ast.OpIfGt, ast.OpIfLe, ast.OpIfGe, ast.OpIfEq, ast.OpIfNe:
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			ru, err := e.rval(u)
+			if err != nil {
+				return err
+			}
+			return e.evalPush(n.Kids[1], func(v value.Value) error {
+				rv, err := e.rval(v)
+				if err != nil {
+					return err
+				}
+				e.Num.Applies++
+				w, err := e.Ctx.Binary(n.Op, ru, rv)
+				if err != nil {
+					return err
+				}
+				if w.IsZero() {
+					return nil
+				}
+				return yield(u)
+			})
+		})
+
+	// --- logical operators with generator semantics (paper §Semantics) ---
+	case ast.OpAndAnd:
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			t, err := e.truth(u)
+			if err != nil {
+				return err
+			}
+			if !t {
+				return nil
+			}
+			return e.evalPush(n.Kids[1], yield)
+		})
+	case ast.OpOrOr:
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			t, err := e.truth(u)
+			if err != nil {
+				return err
+			}
+			if t {
+				return yield(u)
+			}
+			return e.evalPush(n.Kids[1], yield)
+		})
+
+	// --- control expressions ---
+	case ast.OpIf, ast.OpCond:
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			t, err := e.truth(u)
+			if err != nil {
+				return err
+			}
+			if t {
+				return e.evalPush(n.Kids[1], yield)
+			}
+			if len(n.Kids) > 2 {
+				return e.evalPush(n.Kids[2], yield)
+			}
+			return nil
+		})
+	case ast.OpWhile:
+		return e.evalLoop(n.Kids[0], nil, n.Kids[1], yield)
+	case ast.OpFor:
+		if n.Kids[0].Op != ast.OpNothing {
+			if err := e.discard(n.Kids[0]); err != nil {
+				return err
+			}
+		}
+		cond := n.Kids[1]
+		if cond.Op == ast.OpNothing {
+			cond = nil
+		}
+		post := n.Kids[2]
+		if post.Op == ast.OpNothing {
+			post = nil
+		}
+		return e.evalLoop(cond, post, n.Kids[3], yield)
+	case ast.OpSequence:
+		if err := e.discard(n.Kids[0]); err != nil {
+			return err
+		}
+		return e.evalPush(n.Kids[1], yield)
+	case ast.OpDiscard:
+		return e.discard(n.Kids[0])
+	case ast.OpImply:
+		return e.evalPush(n.Kids[0], func(value.Value) error {
+			return e.evalPush(n.Kids[1], yield)
+		})
+	case ast.OpAlternate:
+		if err := e.evalPush(n.Kids[0], yield); err != nil {
+			return err
+		}
+		return e.evalPush(n.Kids[1], yield)
+
+	// --- ranges ---
+	case ast.OpTo:
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			lo, err := e.rangeBound(u)
+			if err != nil {
+				return err
+			}
+			return e.evalPush(n.Kids[1], func(v value.Value) error {
+				hi, err := e.rangeBound(v)
+				if err != nil {
+					return err
+				}
+				for i := lo; i <= hi; i++ {
+					if err := e.yieldInt(i, yield); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	case ast.OpToPrefix:
+		return e.evalPush(n.Kids[0], func(v value.Value) error {
+			hi, err := e.rangeBound(v)
+			if err != nil {
+				return err
+			}
+			for i := int64(0); i < hi; i++ {
+				if err := e.yieldInt(i, yield); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case ast.OpToOpen:
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			lo, err := e.rangeBound(u)
+			if err != nil {
+				return err
+			}
+			for i := lo; ; i++ {
+				if i-lo >= int64(e.Opts.MaxOpenRange) {
+					return fmt.Errorf("duel: unbounded generator %s.. exceeded %d values", u.Sym.S, e.Opts.MaxOpenRange)
+				}
+				if err := e.yieldInt(i, yield); err != nil {
+					return err
+				}
+			}
+		})
+
+	// --- memory access ---
+	case ast.OpIndex:
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			ru, err := e.rval(u)
+			if err != nil {
+				return err
+			}
+			return e.evalPush(n.Kids[1], func(v value.Value) error {
+				rv, err := e.rval(v)
+				if err != nil {
+					return err
+				}
+				e.Num.Applies++
+				w, err := e.Ctx.Index(ru, rv)
+				if err != nil {
+					return err
+				}
+				return yield(w.WithSym(e.indexSym(u.Sym, v.Sym)))
+			})
+		})
+	case ast.OpWithDot, ast.OpWithArrow:
+		return e.evalWith(n, yield)
+	case ast.OpDfs, ast.OpBfs:
+		return e.evalExpand(n, yield)
+
+	// --- sequence manipulators ---
+	case ast.OpSelect:
+		return e.evalSelect(n, yield)
+	case ast.OpUntil:
+		return e.evalUntil(n, yield)
+	case ast.OpIndexOf:
+		j := int64(0)
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			e.SetAlias(n.Name, value.MakeInt(e.Ctx.Arch.Int, j))
+			j++
+			return yield(u)
+		})
+	case ast.OpDefine:
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			e.SetAlias(n.Name, u)
+			return yield(u)
+		})
+
+	// --- reductions ---
+	case ast.OpCount:
+		cnt := int64(0)
+		if err := e.evalPush(n.Kids[0], func(value.Value) error { cnt++; return nil }); err != nil {
+			return err
+		}
+		return e.yieldInt(cnt, yield)
+	case ast.OpSum:
+		var isum int64
+		var fsum float64
+		sawFloat := false
+		err := e.evalPush(n.Kids[0], func(u value.Value) error {
+			ru, err := e.rval(u)
+			if err != nil {
+				return err
+			}
+			if ctype.IsFloat(ru.Type) {
+				sawFloat = true
+				fsum += ru.AsFloat()
+				return nil
+			}
+			if !ctype.IsInteger(ctype.Strip(ru.Type)) {
+				return fmt.Errorf("duel: +/ cannot sum values of type %s", ru.Type)
+			}
+			isum += ru.AsInt()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if sawFloat {
+			f := fsum + float64(isum)
+			v := value.MakeFloat(e.Ctx.Arch.Double, f)
+			v.Sym = e.atom(strconv.FormatFloat(f, 'g', -1, 64))
+			return yield(v)
+		}
+		v := value.MakeInt(e.Ctx.Arch.Long, isum)
+		v.Sym = e.intAtom(isum)
+		return yield(v)
+	case ast.OpAll:
+		all := true
+		err := e.evalPush(n.Kids[0], func(u value.Value) error {
+			t, err := e.truth(u)
+			if err != nil {
+				return err
+			}
+			if !t {
+				all = false
+				return errStop
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStop) {
+			return err
+		}
+		return e.yieldBool(all, yield)
+	case ast.OpAny:
+		any := false
+		err := e.evalPush(n.Kids[0], func(u value.Value) error {
+			t, err := e.truth(u)
+			if err != nil {
+				return err
+			}
+			if t {
+				any = true
+				return errStop
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStop) {
+			return err
+		}
+		return e.yieldBool(any, yield)
+
+	// --- assignment ---
+	case ast.OpAssign, ast.OpAddAssign, ast.OpSubAssign, ast.OpMulAssign,
+		ast.OpDivAssign, ast.OpModAssign, ast.OpAndAssign, ast.OpOrAssign,
+		ast.OpXorAssign, ast.OpShlAssign, ast.OpShrAssign:
+		return e.evalAssign(n, yield)
+
+	// --- declarations, calls ---
+	case ast.OpDecl:
+		return e.evalDecl(n)
+	case ast.OpCall:
+		return e.evalCall(n, yield)
+	}
+	return fmt.Errorf("duel: unimplemented operator %s", n.Op)
+}
+
+// --- helpers ---
+
+func (e *Env) constValue(n *ast.Node) value.Value {
+	arch := e.Ctx.Arch
+	t := ctype.Type(arch.Int)
+	switch {
+	case n.Unsigned && n.Long:
+		t = arch.ULong
+	case n.Long:
+		t = arch.Long
+	case n.Unsigned:
+		t = arch.UInt
+	case n.Int > uint64(int64(1)<<(uint(arch.Long.Size()*8-1))-1):
+		t = arch.ULongLong
+	case n.Int > 0x7fffffff:
+		t = arch.Long
+	}
+	v := value.MakeInt(t, int64(n.Int))
+	v.Sym = e.atom(n.Text)
+	return v
+}
+
+func (e *Env) truth(u value.Value) (bool, error) {
+	ru, err := e.rval(u)
+	if err != nil {
+		return false, err
+	}
+	return e.Ctx.Truth(ru)
+}
+
+func (e *Env) rangeBound(u value.Value) (int64, error) {
+	ru, err := e.rval(u)
+	if err != nil {
+		return 0, err
+	}
+	if !ctype.IsInteger(ctype.Strip(ru.Type)) {
+		return 0, fmt.Errorf("duel: range bound %s is not an integer (%s)", u.Sym.S, ru.Type)
+	}
+	return ru.AsInt(), nil
+}
+
+// yieldInt emits an int value whose symbolic value is the integer itself —
+// the paper: "a..b's symbolic value is the current iteration value".
+func (e *Env) yieldInt(i int64, yield EmitFn) error {
+	v := value.MakeInt(e.Ctx.Arch.Int, i)
+	v.Sym = e.intAtom(i)
+	return yield(v)
+}
+
+func (e *Env) yieldBool(b bool, yield EmitFn) error {
+	if b {
+		return e.yieldInt(1, yield)
+	}
+	return e.yieldInt(0, yield)
+}
+
+// discard drives n for its side effects, dropping its values.
+func (e *Env) discard(n *ast.Node) error {
+	return e.evalPush(n, func(value.Value) error { return nil })
+}
+
+// evalLoop implements while (cond == nil means "for(;;)" with no condition
+// check) and the loop part of for: repeat { check cond: all values must be
+// non-zero; drive body; drive post }.
+func (e *Env) evalLoop(cond, post, body *ast.Node, yield EmitFn) error {
+	for iter := 0; ; iter++ {
+		if iter >= e.Opts.MaxOpenRange {
+			return fmt.Errorf("duel: loop exceeded %d iterations", e.Opts.MaxOpenRange)
+		}
+		if cond != nil {
+			sawZero := false
+			err := e.evalPush(cond, func(u value.Value) error {
+				t, err := e.truth(u)
+				if err != nil {
+					return err
+				}
+				if !t {
+					sawZero = true
+					return errStop
+				}
+				return nil
+			})
+			if err != nil && !(errors.Is(err, errStop) && sawZero) {
+				return err
+			}
+			if sawZero {
+				return nil
+			}
+		}
+		if err := e.evalPush(body, yield); err != nil {
+			return err
+		}
+		if post != nil {
+			if err := e.discard(post); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// evalIncDec implements ++e, --e, e++, e--.
+func (e *Env) evalIncDec(n *ast.Node, yield EmitFn) error {
+	op := ast.OpPlus
+	symOp := "++"
+	if n.Op == ast.OpPreDec || n.Op == ast.OpPostDec {
+		op = ast.OpMinus
+		symOp = "--"
+	}
+	pre := n.Op == ast.OpPreInc || n.Op == ast.OpPreDec
+	one := value.MakeInt(e.Ctx.Arch.Int, 1)
+	return e.evalPush(n.Kids[0], func(u value.Value) error {
+		old, err := e.rval(u)
+		if err != nil {
+			return err
+		}
+		e.Num.Applies++
+		upd, err := e.Ctx.Binary(op, old, one)
+		if err != nil {
+			return err
+		}
+		if err := e.Ctx.Store(u, upd); err != nil {
+			return err
+		}
+		if pre {
+			conv, err := e.Ctx.Convert(upd, u.Type)
+			if err != nil {
+				return err
+			}
+			return yield(conv.WithSym(e.preSym(symOp, u.Sym)))
+		}
+		return yield(old.WithSym(e.postSym(u.Sym, symOp)))
+	})
+}
+
+// evalAssign implements = and the compound assignments: for each lvalue of
+// e1 and each value of e2, store and yield the lvalue (whose display then
+// shows the assigned value, e.g. "x[0] = 5").
+func (e *Env) evalAssign(n *ast.Node, yield EmitFn) error {
+	base := compoundBase(n.Op)
+	return e.evalPush(n.Kids[0], func(u value.Value) error {
+		if !u.IsLvalue {
+			return fmt.Errorf("duel: %s is not an lvalue", u.Sym.S)
+		}
+		return e.evalPush(n.Kids[1], func(v value.Value) error {
+			rv, err := e.rval(v)
+			if err != nil {
+				return err
+			}
+			if base != ast.OpInvalid {
+				old, err := e.rval(u)
+				if err != nil {
+					return err
+				}
+				e.Num.Applies++
+				if rv, err = e.Ctx.Binary(base, old, rv); err != nil {
+					return err
+				}
+			}
+			e.Num.Applies++
+			if err := e.Ctx.Store(u, rv); err != nil {
+				return err
+			}
+			return yield(u)
+		})
+	})
+}
+
+// evalDecl executes a DUEL declaration: allocate target space (once per
+// node), register the alias, apply the initializer if present. It produces
+// no values.
+func (e *Env) evalDecl(n *ast.Node) error {
+	lv, err := e.declStorage(n)
+	if err != nil {
+		return err
+	}
+	if len(n.Kids) == 1 {
+		got := false
+		err := e.evalPush(n.Kids[0], func(v value.Value) error {
+			got = true
+			rv, err := e.rval(v)
+			if err != nil {
+				return err
+			}
+			if err := e.Ctx.Store(lv, rv); err != nil {
+				return err
+			}
+			return errStop
+		})
+		if err != nil && !(errors.Is(err, errStop) && got) {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalWith implements '.' and '->': for each value u of e1, open u's scope
+// (dereferencing through the pointer for ->), evaluate e2 in that scope, and
+// yield its values with composed symbolic values.
+func (e *Env) evalWith(n *ast.Node, yield EmitFn) error {
+	arrow := n.Op == ast.OpWithArrow
+	symOp := "."
+	if arrow {
+		symOp = "->"
+	}
+	if e.cDirectField(n.Kids[1]) {
+		return e.evalPush(n.Kids[0], func(u value.Value) error {
+			w, err := e.directField(u, n.Kids[1].Name, arrow)
+			if err != nil {
+				return err
+			}
+			return yield(w.WithSym(e.withSym(u.Sym, symOp, w.Sym)))
+		})
+	}
+	return e.evalPush(n.Kids[0], func(u value.Value) error {
+		entry, err := e.makeWithEntry(u, arrow)
+		if err != nil {
+			return err
+		}
+		e.pushWith(entry)
+		werr := e.evalPush(n.Kids[1], func(w value.Value) error {
+			return yield(w.WithSym(e.withSym(u.Sym, symOp, w.Sym)))
+		})
+		e.popWith()
+		return werr
+	})
+}
+
+// evalUntil implements e@n: produce e's values up to (not including) the
+// first for which the stop condition holds. When n is a constant, the
+// condition is "value == n"; otherwise n is evaluated in the scope of each
+// value (so "_" and field names refer to it) and any non-zero value stops.
+func (e *Env) evalUntil(n *ast.Node, yield EmitFn) error {
+	stopKid := n.Kids[1]
+	stopped := false
+	err := e.evalPush(n.Kids[0], func(u value.Value) error {
+		stop, err := e.untilStops(u, stopKid, func(k *ast.Node) (bool, error) {
+			hit := false
+			cerr := e.evalPush(k, func(c value.Value) error {
+				t, err := e.truth(c)
+				if err != nil {
+					return err
+				}
+				if t {
+					hit = true
+					return errStop
+				}
+				return nil
+			})
+			if cerr != nil && !(errors.Is(cerr, errStop) && hit) {
+				return false, cerr
+			}
+			return hit, nil
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			stopped = true
+			return errStop
+		}
+		return yield(u)
+	})
+	if err != nil && !(errors.Is(err, errStop) && stopped) {
+		return err
+	}
+	return nil
+}
+
+// evalSelect implements e1[[e2]]: the index sequence e2 is collected first,
+// then e1 is enumerated once up to the largest requested index with the
+// needed values cached — the paper notes the real implementation "avoids the
+// re-evaluation of e2 when possible"; caching achieves the same effect.
+func (e *Env) evalSelect(n *ast.Node, yield EmitFn) error {
+	var idxs []int64
+	err := e.evalPush(n.Kids[1], func(v value.Value) error {
+		rv, err := e.rval(v)
+		if err != nil {
+			return err
+		}
+		if !ctype.IsInteger(ctype.Strip(rv.Type)) {
+			return fmt.Errorf("duel: [[...]] index %s is not an integer (%s)", v.Sym.S, rv.Type)
+		}
+		i := rv.AsInt()
+		if i < 0 {
+			return fmt.Errorf("duel: [[...]] index %d is negative", i)
+		}
+		idxs = append(idxs, i)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	need := make(map[int64]bool, len(idxs))
+	var maxIdx int64
+	for _, i := range idxs {
+		need[i] = true
+		if i > maxIdx {
+			maxIdx = i
+		}
+	}
+	cache := make(map[int64]value.Value, len(need))
+	j := int64(0)
+	err = e.evalPush(n.Kids[0], func(u value.Value) error {
+		if need[j] {
+			cache[j] = u
+		}
+		j++
+		if j > maxIdx {
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStop) {
+		return err
+	}
+	for _, i := range idxs {
+		u, ok := cache[i]
+		if !ok {
+			continue // sequence shorter than the index
+		}
+		if err := yield(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expandItem is one node awaiting a visit in a --> / -->> traversal.
+type expandItem struct {
+	val   value.Value // pointer rvalue
+	steps []string
+}
+
+// evalExpand implements e1-->e2 (depth-first, the paper's dfs with children
+// stacked in reverse) and e1-->>e2 (breadth-first, the paper's "other
+// orderings"). Null or invalid pointers terminate their branch; with
+// Opts.CycleDetect, already-visited nodes are skipped (extension — the
+// paper's implementation "does not handle cycles").
+func (e *Env) evalExpand(n *ast.Node, yield EmitFn) error {
+	bfs := n.Op == ast.OpBfs
+	return e.evalPush(n.Kids[0], func(u value.Value) error {
+		ru, err := e.rval(u)
+		if err != nil {
+			return err
+		}
+		if !ctype.IsPointer(ru.Type) {
+			return fmt.Errorf("duel: %s is not a pointer (%s); cannot expand with -->", u.Sym.S, ru.Type)
+		}
+		if !e.validPointer(ru) {
+			return nil // NULL or invalid root: empty expansion
+		}
+		var visited map[uint64]bool
+		if e.Opts.CycleDetect {
+			visited = map[uint64]bool{ru.AsUint(): true}
+		}
+		work := []expandItem{{val: ru}}
+		visits := 0
+		for len(work) > 0 {
+			var it expandItem
+			if bfs {
+				it = work[0]
+				work = work[1:]
+			} else {
+				it = work[len(work)-1]
+				work = work[:len(work)-1]
+			}
+			visits++
+			if visits > e.Opts.MaxExpand {
+				return fmt.Errorf("duel: --> expansion of %s exceeded %d nodes (cycle? enable cycle detection)", u.Sym.S, e.Opts.MaxExpand)
+			}
+			sym := e.dfsSym(u.Sym, it.steps)
+			cur := it.val.WithSym(sym)
+			// Open *X and generate the children.
+			sv, err := e.Ctx.Deref(cur)
+			if err != nil {
+				return err
+			}
+			entry := withEntry{orig: cur}
+			if _, ok := ctype.Strip(sv.Type).(*ctype.Struct); ok {
+				entry.scope = sv.WithSym(sym)
+				entry.hasScope = true
+			}
+			e.pushWith(entry)
+			var kids []expandItem
+			kerr := e.evalPush(n.Kids[1], func(w value.Value) error {
+				rw, err := e.rval(w)
+				if err != nil {
+					return err
+				}
+				if !ctype.IsPointer(rw.Type) {
+					return fmt.Errorf("duel: --> step %s is not a pointer (%s)", w.Sym.S, rw.Type)
+				}
+				if !e.validPointer(rw) {
+					return nil
+				}
+				if visited != nil {
+					a := rw.AsUint()
+					if visited[a] {
+						return nil
+					}
+					visited[a] = true
+				}
+				steps := make([]string, len(it.steps)+1)
+				copy(steps, it.steps)
+				steps[len(it.steps)] = w.Sym.S
+				kids = append(kids, expandItem{val: rw, steps: steps})
+				return nil
+			})
+			e.popWith()
+			if kerr != nil {
+				return kerr
+			}
+			if bfs {
+				work = append(work, kids...)
+			} else {
+				for i := len(kids) - 1; i >= 0; i-- {
+					work = append(work, kids[i])
+				}
+			}
+			if err := yield(cur); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// evalCall implements function calls. If any argument is a generator the
+// function is called for all combinations of argument values, per the paper.
+// frame(i) is the built-in frame-scope generator unless the target defines
+// its own "frame"; frames() reports the number of active frames.
+func (e *Env) evalCall(n *ast.Node, yield EmitFn) error {
+	callee := n.Kids[0]
+	if callee.Op == ast.OpName {
+		if _, ok := e.Ctx.D.GetTargetVariable(callee.Name); !ok {
+			switch callee.Name {
+			case "frame":
+				return e.evalFrameBuiltin(n, yield)
+			case "frames":
+				return e.yieldInt(int64(e.Ctx.D.NumFrames()), yield)
+			}
+		}
+	}
+	return e.evalPush(callee, func(fv value.Value) error {
+		rf, err := e.rval(fv)
+		if err != nil {
+			return err
+		}
+		ft, ok := ctype.Strip(ctype.Strip(rf.Type)).(*ctype.Pointer)
+		var sig *ctype.Func
+		if ok {
+			sig, _ = ctype.Strip(ft.Elem).(*ctype.Func)
+		}
+		if sig == nil {
+			return fmt.Errorf("duel: %s is not a function (%s)", fv.Sym.S, fv.Type)
+		}
+		args := make([]value.Value, len(n.Kids)-1)
+		var rec func(i int) error
+		rec = func(i int) error {
+			if i == len(args) {
+				return e.callOnce(fv, sig, rf.AsUint(), args, yield)
+			}
+			return e.evalPush(n.Kids[i+1], func(a value.Value) error {
+				ra, err := e.rval(a)
+				if err != nil {
+					return err
+				}
+				args[i] = ra.WithSym(a.Sym)
+				return rec(i + 1)
+			})
+		}
+		return rec(0)
+	})
+}
+
+func (e *Env) callOnce(fv value.Value, sig *ctype.Func, addr uint64, args []value.Value, yield EmitFn) error {
+	in := make([]dbgif.Value, len(args))
+	for i, a := range args {
+		conv := a
+		if i < len(sig.Params) {
+			var err error
+			conv, err = e.Ctx.Convert(a, sig.Params[i])
+			if err != nil {
+				return err
+			}
+		}
+		in[i] = dbgif.Value{Type: conv.Type, Bytes: conv.Bytes}
+	}
+	if len(args) < len(sig.Params) {
+		return fmt.Errorf("duel: too few arguments in call to %s (%d < %d)", fv.Sym.S, len(args), len(sig.Params))
+	}
+	e.Num.Applies++
+	out, err := e.Ctx.D.CallTargetFunc(addr, in)
+	if err != nil {
+		return fmt.Errorf("duel: call to %s: %w", callSymName(fv.Sym.S), err)
+	}
+	if out.Type == nil || ctype.IsVoid(out.Type) {
+		return nil
+	}
+	res := value.Value{Type: out.Type, Bytes: out.Bytes}
+	if e.Opts.Symbolic {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = a.Sym.S
+		}
+		res.Sym = e.atom(fv.Sym.At(value.PrecPostfix) + "(" + strings.Join(parts, ", ") + ")")
+		res.Sym.Prec = value.PrecPostfix
+	}
+	return yield(res)
+}
+
+func (e *Env) evalFrameBuiltin(n *ast.Node, yield EmitFn) error {
+	if len(n.Kids) != 2 {
+		return fmt.Errorf("duel: frame() takes exactly one argument")
+	}
+	return e.evalPush(n.Kids[1], func(a value.Value) error {
+		ra, err := e.rval(a)
+		if err != nil {
+			return err
+		}
+		lvl := int(ra.AsInt())
+		if lvl < 0 || lvl >= e.Ctx.D.NumFrames() {
+			return fmt.Errorf("duel: no frame %d (%d active)", lvl, e.Ctx.D.NumFrames())
+		}
+		v := value.Value{FrameScope: lvl + 1}
+		v.Sym = e.atom("frame(" + strconv.Itoa(lvl) + ")")
+		return yield(v)
+	})
+}
+
+// Drive evaluates n without resetting per-command state; the micro-C
+// interpreter uses it so nested target-function calls do not clobber an
+// enclosing evaluation's name-resolution stack.
+func (e *Env) Drive(n *ast.Node, yield EmitFn) error { return e.evalPush(n, yield) }

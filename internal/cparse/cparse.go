@@ -1,0 +1,537 @@
+// Package cparse parses micro-C programs: the C subset in which debuggee
+// programs are written. A program is a sequence of type definitions
+// (struct/union/enum/typedef), global variable declarations with constant
+// initializers, and function definitions with statement bodies. Expressions
+// reuse the DUEL parser (whose C subset is a superset of C's expressions).
+//
+// The parsed form is deliberately close to a symbol-table dump: the micro-C
+// interpreter (internal/microc) lays the globals out in the simulated target
+// and executes the function bodies against it, standing in for the compiled
+// C process a real debugger would attach to.
+package cparse
+
+import (
+	"duel/internal/ctype"
+	"duel/internal/duel/ast"
+	"duel/internal/duel/lexer"
+	"duel/internal/duel/parser"
+)
+
+// File is a parsed micro-C translation unit.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDef
+}
+
+// Func returns the named function definition.
+func (f *File) Func(name string) (*FuncDef, bool) {
+	for _, fn := range f.Funcs {
+		if fn.Name == name {
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
+// GlobalDecl declares one global variable, possibly initialized.
+type GlobalDecl struct {
+	Name string
+	Type ctype.Type
+	Init *Init
+	Line int
+}
+
+// Init is an initializer: a scalar expression or a brace list.
+type Init struct {
+	Expr *ast.Node
+	List []*Init
+}
+
+// FuncDef is a function definition.
+type FuncDef struct {
+	Name       string
+	Type       *ctype.Func
+	ParamNames []string
+	Body       *Block
+	Line       int
+}
+
+// Stmt is a micro-C statement.
+type Stmt interface{ StmtLine() int }
+
+// Block is a brace-enclosed statement list.
+type Block struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// ExprStmt is an expression statement.
+type ExprStmt struct {
+	E    *ast.Node
+	Line int
+}
+
+// DeclStmt declares a local variable, possibly initialized.
+type DeclStmt struct {
+	Name string
+	Type ctype.Type
+	Init *Init
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond       *ast.Node
+	Then, Else Stmt
+	Line       int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond *ast.Node
+	Body Stmt
+	Line int
+}
+
+// ForStmt is a for loop; any clause may be nil.
+type ForStmt struct {
+	Init, Cond, Post *ast.Node
+	Body             Stmt
+	Line             int
+}
+
+// DoWhileStmt is a do { body } while (cond); loop.
+type DoWhileStmt struct {
+	Body Stmt
+	Cond *ast.Node
+	Line int
+}
+
+// SwitchEntry is one case (or default) arm of a switch; C fallthrough
+// applies, so execution continues into following entries until a break.
+type SwitchEntry struct {
+	Vals      []int64
+	IsDefault bool
+	Stmts     []Stmt
+	Line      int
+}
+
+// SwitchStmt is a C switch over constant case labels.
+type SwitchStmt struct {
+	Cond    *ast.Node
+	Entries []SwitchEntry
+	Line    int
+}
+
+// ReturnStmt returns from the function; E may be nil.
+type ReturnStmt struct {
+	E    *ast.Node
+	Line int
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// StmtLine implements Stmt.
+func (s *Block) StmtLine() int        { return s.Line }
+func (s *DoWhileStmt) StmtLine() int  { return s.Line }
+func (s *SwitchStmt) StmtLine() int   { return s.Line }
+func (s *ExprStmt) StmtLine() int     { return s.Line }
+func (s *DeclStmt) StmtLine() int     { return s.Line }
+func (s *IfStmt) StmtLine() int       { return s.Line }
+func (s *WhileStmt) StmtLine() int    { return s.Line }
+func (s *ForStmt) StmtLine() int      { return s.Line }
+func (s *ReturnStmt) StmtLine() int   { return s.Line }
+func (s *BreakStmt) StmtLine() int    { return s.Line }
+func (s *ContinueStmt) StmtLine() int { return s.Line }
+
+// Parse parses a micro-C translation unit. Type definitions are registered
+// in env as they are parsed (env must allow declarations).
+func Parse(src string, env parser.DeclEnv) (*File, error) {
+	p, err := parser.New(src, env)
+	if err != nil {
+		return nil, err
+	}
+	cp := &cparser{p: p}
+	return cp.parseFile()
+}
+
+type cparser struct {
+	p *parser.Parser
+}
+
+func (c *cparser) parseFile() (*File, error) {
+	f := &File{}
+	for c.p.Peek().Kind != lexer.EOF {
+		if err := c.parseTopDecl(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (c *cparser) parseTopDecl(f *File) error {
+	pos := c.p.Peek().Pos
+	base, isTypedef, err := c.p.ParseDeclSpecs()
+	if err != nil {
+		return err
+	}
+	// Bare type definition: "struct s { ... };".
+	if c.p.Peek().Kind == lexer.Semi {
+		c.p.Next()
+		if isTypedef {
+			return c.p.Errf(pos, "typedef without a name")
+		}
+		return nil
+	}
+	if isTypedef {
+		env := c.declEnv()
+		for {
+			t, name, err := c.p.ParseDeclarator(base, false)
+			if err != nil {
+				return err
+			}
+			if err := env.DefineTypedef(name, t); err != nil {
+				return c.p.Errf(pos, "%v", err)
+			}
+			if c.p.Peek().Kind != lexer.Comma {
+				break
+			}
+			c.p.Next()
+		}
+		return c.p.Expect(lexer.Semi)
+	}
+	// Function definition or global declaration.
+	t, name, paramNames, err := c.p.ParseDeclaratorNamed(base)
+	if err != nil {
+		return err
+	}
+	if ft, ok := t.(*ctype.Func); ok && c.p.Peek().Kind == lexer.LBrace {
+		body, err := c.parseBlock()
+		if err != nil {
+			return err
+		}
+		f.Funcs = append(f.Funcs, &FuncDef{
+			Name: name, Type: ft, ParamNames: paramNames, Body: body, Line: pos.Line,
+		})
+		return nil
+	}
+	// Global declaration list.
+	for {
+		g := &GlobalDecl{Name: name, Type: t, Line: pos.Line}
+		if c.p.Peek().Kind == lexer.Assign {
+			c.p.Next()
+			init, err := c.parseInit()
+			if err != nil {
+				return err
+			}
+			g.Init = init
+		}
+		f.Globals = append(f.Globals, g)
+		if c.p.Peek().Kind != lexer.Comma {
+			break
+		}
+		c.p.Next()
+		if t, name, err = c.p.ParseDeclarator(base, false); err != nil {
+			return err
+		}
+	}
+	return c.p.Expect(lexer.Semi)
+}
+
+// declEnv returns the parse environment as a DeclEnv (Parse requires one).
+func (c *cparser) declEnv() parser.DeclEnv { return c.p.Env().(parser.DeclEnv) }
+
+func (c *cparser) parseInit() (*Init, error) {
+	if c.p.Peek().Kind == lexer.LBrace {
+		c.p.Next()
+		init := &Init{}
+		for c.p.Peek().Kind != lexer.RBrace {
+			item, err := c.parseInit()
+			if err != nil {
+				return nil, err
+			}
+			init.List = append(init.List, item)
+			if c.p.Peek().Kind == lexer.Comma {
+				c.p.Next()
+				continue
+			}
+			break
+		}
+		if err := c.p.Expect(lexer.RBrace); err != nil {
+			return nil, err
+		}
+		if init.List == nil {
+			init.List = []*Init{}
+		}
+		return init, nil
+	}
+	e, err := c.p.ParseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Init{Expr: e}, nil
+}
+
+func (c *cparser) parseBlock() (*Block, error) {
+	pos := c.p.Peek().Pos
+	if err := c.p.Expect(lexer.LBrace); err != nil {
+		return nil, err
+	}
+	b := &Block{Line: pos.Line}
+	for c.p.Peek().Kind != lexer.RBrace {
+		if c.p.Peek().Kind == lexer.EOF {
+			return nil, c.p.Errf(pos, "unterminated block")
+		}
+		s, err := c.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	c.p.Next() // '}'
+	return b, nil
+}
+
+func (c *cparser) parseStmt() (Stmt, error) {
+	tok := c.p.Peek()
+	switch {
+	case tok.Kind == lexer.LBrace:
+		return c.parseBlock()
+	case tok.Kind == lexer.Semi:
+		c.p.Next()
+		return &Block{Line: tok.Pos.Line}, nil // empty statement
+	case tok.Is("if"):
+		c.p.Next()
+		if err := c.p.Expect(lexer.LParen); err != nil {
+			return nil, err
+		}
+		cond, err := c.p.ParseFullExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.p.Expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		then, err := c.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: tok.Pos.Line}
+		if c.p.Peek().Is("else") {
+			c.p.Next()
+			if st.Else, err = c.parseStmt(); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case tok.Is("do"):
+		c.p.Next()
+		body, err := c.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.p.ExpectKeyword("while"); err != nil {
+			return nil, err
+		}
+		if err := c.p.Expect(lexer.LParen); err != nil {
+			return nil, err
+		}
+		cond, err := c.p.ParseFullExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.p.Expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		if err := c.p.Expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Body: body, Cond: cond, Line: tok.Pos.Line}, nil
+	case tok.Is("switch"):
+		return c.parseSwitch()
+	case tok.Is("while"):
+		c.p.Next()
+		if err := c.p.Expect(lexer.LParen); err != nil {
+			return nil, err
+		}
+		cond, err := c.p.ParseFullExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.p.Expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		body, err := c.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: tok.Pos.Line}, nil
+	case tok.Is("for"):
+		c.p.Next()
+		if err := c.p.Expect(lexer.LParen); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{Line: tok.Pos.Line}
+		var err error
+		if c.p.Peek().Kind != lexer.Semi {
+			if st.Init, err = c.p.ParseFullExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.p.Expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		if c.p.Peek().Kind != lexer.Semi {
+			if st.Cond, err = c.p.ParseFullExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.p.Expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		if c.p.Peek().Kind != lexer.RParen {
+			if st.Post, err = c.p.ParseFullExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.p.Expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		if st.Body, err = c.parseStmt(); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case tok.Is("return"):
+		c.p.Next()
+		st := &ReturnStmt{Line: tok.Pos.Line}
+		if c.p.Peek().Kind != lexer.Semi {
+			var err error
+			if st.E, err = c.p.ParseFullExpr(); err != nil {
+				return nil, err
+			}
+		}
+		return st, c.p.Expect(lexer.Semi)
+	case tok.Is("break"):
+		c.p.Next()
+		return &BreakStmt{Line: tok.Pos.Line}, c.p.Expect(lexer.Semi)
+	case tok.Is("continue"):
+		c.p.Next()
+		return &ContinueStmt{Line: tok.Pos.Line}, c.p.Expect(lexer.Semi)
+	case c.p.StartsDecl():
+		return c.parseDeclStmt()
+	default:
+		e, err := c.p.ParseFullExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{E: e, Line: tok.Pos.Line}, c.p.Expect(lexer.Semi)
+	}
+}
+
+// parseDeclStmt parses one local declaration line, possibly declaring
+// several variables; it returns a Block when more than one is declared.
+func (c *cparser) parseDeclStmt() (Stmt, error) {
+	pos := c.p.Peek().Pos
+	base, isTypedef, err := c.p.ParseDeclSpecs()
+	if err != nil {
+		return nil, err
+	}
+	if isTypedef {
+		return nil, c.p.Errf(pos, "typedef inside a function is not supported")
+	}
+	var decls []Stmt
+	for {
+		t, name, err := c.p.ParseDeclarator(base, false)
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Name: name, Type: t, Line: pos.Line}
+		if c.p.Peek().Kind == lexer.Assign {
+			c.p.Next()
+			if d.Init, err = c.parseInit(); err != nil {
+				return nil, err
+			}
+		}
+		decls = append(decls, d)
+		if c.p.Peek().Kind != lexer.Comma {
+			break
+		}
+		c.p.Next()
+	}
+	if err := c.p.Expect(lexer.Semi); err != nil {
+		return nil, err
+	}
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	return &Block{Stmts: decls, Line: pos.Line}, nil
+}
+
+// parseSwitch parses "switch (expr) { case k: ... default: ... }".
+func (c *cparser) parseSwitch() (Stmt, error) {
+	tok := c.p.Peek()
+	c.p.Next() // switch
+	if err := c.p.Expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := c.p.ParseFullExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.p.Expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	if err := c.p.Expect(lexer.LBrace); err != nil {
+		return nil, err
+	}
+	st := &SwitchStmt{Cond: cond, Line: tok.Pos.Line}
+	for c.p.Peek().Kind != lexer.RBrace {
+		lbl := c.p.Peek()
+		entry := SwitchEntry{Line: lbl.Pos.Line}
+		// Consecutive labels share one entry ("case 1: case 2: ...").
+		for {
+			lbl = c.p.Peek()
+			if lbl.Is("case") {
+				c.p.Next()
+				e, err := c.p.ParseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				v, ok := parser.ConstFold(e)
+				if !ok {
+					return nil, c.p.Errf(lbl.Pos, "case label is not a constant expression")
+				}
+				entry.Vals = append(entry.Vals, v)
+			} else if lbl.Is("default") {
+				c.p.Next()
+				entry.IsDefault = true
+			} else {
+				break
+			}
+			if err := c.p.Expect(lexer.Colon); err != nil {
+				return nil, err
+			}
+		}
+		if len(entry.Vals) == 0 && !entry.IsDefault {
+			return nil, c.p.Errf(lbl.Pos, "expected case or default label, found %s", lbl)
+		}
+		for {
+			k := c.p.Peek()
+			if k.Kind == lexer.RBrace || k.Is("case") || k.Is("default") {
+				break
+			}
+			s, err := c.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			entry.Stmts = append(entry.Stmts, s)
+		}
+		st.Entries = append(st.Entries, entry)
+	}
+	c.p.Next() // '}'
+	return st, nil
+}

@@ -1,0 +1,324 @@
+package ctype
+
+import "fmt"
+
+// Model selects a C data model.
+type Model int
+
+// Supported data models.
+const (
+	// ILP32: int, long and pointers are 32 bits — the model of the
+	// DECStation 5000 the paper reports timings on.
+	ILP32 Model = iota
+	// LP64: long and pointers are 64 bits, int is 32 bits.
+	LP64
+)
+
+func (m Model) String() string {
+	switch m {
+	case ILP32:
+		return "ILP32"
+	case LP64:
+		return "LP64"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Arch fixes the data model and manufactures types for it. All target data
+// is little-endian (as on the DECStation's MIPS and on x86).
+type Arch struct {
+	Model   Model
+	PtrSize int
+
+	Void      *Basic
+	Char      *Basic
+	SChar     *Basic
+	UChar     *Basic
+	Short     *Basic
+	UShort    *Basic
+	Int       *Basic
+	UInt      *Basic
+	Long      *Basic
+	ULong     *Basic
+	LongLong  *Basic
+	ULongLong *Basic
+	Float     *Basic
+	Double    *Basic
+
+	basics map[Kind]*Basic
+}
+
+// New returns an Arch for the given data model.
+func New(m Model) *Arch {
+	longSize := 4
+	ptrSize := 4
+	if m == LP64 {
+		longSize = 8
+		ptrSize = 8
+	}
+	a := &Arch{Model: m, PtrSize: ptrSize}
+	mk := func(k Kind, size int) *Basic { return &Basic{kind: k, size: size, align: size} }
+	a.Void = &Basic{kind: KindVoid, size: 1, align: 1} // sizeof(void)==1 as a gdb/gcc extension
+	a.Char = mk(KindChar, 1)
+	a.SChar = mk(KindSChar, 1)
+	a.UChar = mk(KindUChar, 1)
+	a.Short = mk(KindShort, 2)
+	a.UShort = mk(KindUShort, 2)
+	a.Int = mk(KindInt, 4)
+	a.UInt = mk(KindUInt, 4)
+	a.Long = mk(KindLong, longSize)
+	a.ULong = mk(KindULong, longSize)
+	a.LongLong = mk(KindLongLong, 8)
+	a.ULongLong = mk(KindULongLong, 8)
+	a.Float = mk(KindFloat, 4)
+	a.Double = mk(KindDouble, 8)
+	a.basics = map[Kind]*Basic{
+		KindVoid: a.Void, KindChar: a.Char, KindSChar: a.SChar, KindUChar: a.UChar,
+		KindShort: a.Short, KindUShort: a.UShort, KindInt: a.Int, KindUInt: a.UInt,
+		KindLong: a.Long, KindULong: a.ULong, KindLongLong: a.LongLong, KindULongLong: a.ULongLong,
+		KindFloat: a.Float, KindDouble: a.Double,
+	}
+	return a
+}
+
+// Basic returns the Arch's basic type of the given kind, or nil.
+func (a *Arch) Basic(k Kind) *Basic { return a.basics[k] }
+
+// Ptr returns the pointer-to-elem type.
+func (a *Arch) Ptr(elem Type) *Pointer {
+	return &Pointer{Elem: elem, size: a.PtrSize, align: a.PtrSize}
+}
+
+// ArrayOf returns the array type elem[n]; n < 0 makes an incomplete array.
+func (a *Arch) ArrayOf(elem Type, n int) *Array { return &Array{Elem: elem, Len: n} }
+
+// EnumOf returns a new enum type with the given enumerators.
+func (a *Arch) EnumOf(tag string, consts []EnumConst) *Enum {
+	return &Enum{Tag: tag, Consts: consts, size: a.Int.size, align: a.Int.align}
+}
+
+// FuncOf returns a function type.
+func (a *Arch) FuncOf(ret Type, params []Type, variadic bool) *Func {
+	return &Func{Ret: ret, Params: params, Variadic: variadic}
+}
+
+// NewStruct returns an incomplete struct or union shell with the given tag.
+// Complete it with SetFields; this supports self-referential types such as
+// "struct symbol { ...; struct symbol *next; }".
+func (a *Arch) NewStruct(tag string, union bool) *Struct {
+	return &Struct{Tag: tag, Union: union, Incomplete: true}
+}
+
+// FieldSpec describes one member for layout. BitWidth > 0 declares a
+// bitfield of that width (Type must be an integer type). BitWidth < 0
+// declares an unnamed zero-width bitfield ":0" forcing unit alignment.
+type FieldSpec struct {
+	Name     string
+	Type     Type
+	BitWidth int
+}
+
+// SetFields lays out the members of s according to C rules: each member is
+// aligned to its natural alignment, bitfields pack LSB-first into storage
+// units of their declared type, a zero-width bitfield closes the current
+// unit, unions overlay all members at offset 0, and the total size is padded
+// to the struct's alignment.
+func (a *Arch) SetFields(s *Struct, specs []FieldSpec) error {
+	if !s.Incomplete {
+		return fmt.Errorf("ctype: struct %s already completed", s.Tag)
+	}
+	var (
+		off      int // next free byte offset
+		align    = 1
+		fields   []Field
+		bitUnit  = -1 // byte offset of the open bitfield unit, -1 if none
+		bitSize  int  // size in bytes of the open unit
+		bitUsed  int  // bits consumed in the open unit
+		maxSize  int  // for unions
+		closeBit = func() { bitUnit, bitSize, bitUsed = -1, 0, 0 }
+	)
+	for i, fs := range specs {
+		ft := fs.Type
+		if ft == nil {
+			return fmt.Errorf("ctype: field %q has nil type", fs.Name)
+		}
+		if fs.BitWidth < 0 { // ":0"
+			closeBit()
+			continue
+		}
+		if fs.BitWidth > 0 {
+			if !IsInteger(ft) {
+				return fmt.Errorf("ctype: bitfield %q has non-integer type %s", fs.Name, ft)
+			}
+			unit := Strip(ft).Size()
+			if fs.BitWidth > unit*8 {
+				return fmt.Errorf("ctype: bitfield %q wider than its type (%d > %d bits)", fs.Name, fs.BitWidth, unit*8)
+			}
+			if s.Union {
+				fields = append(fields, Field{Name: fs.Name, Type: ft, Off: 0, BitOff: 0, BitWidth: fs.BitWidth})
+				if unit > maxSize {
+					maxSize = unit
+				}
+				if ft.Align() > align {
+					align = ft.Align()
+				}
+				continue
+			}
+			if bitUnit < 0 || bitSize != unit || bitUsed+fs.BitWidth > unit*8 {
+				closeBit()
+				off = alignUp(off, ft.Align())
+				bitUnit, bitSize, bitUsed = off, unit, 0
+				off += unit
+			}
+			fields = append(fields, Field{Name: fs.Name, Type: ft, Off: bitUnit, BitOff: bitUsed, BitWidth: fs.BitWidth})
+			bitUsed += fs.BitWidth
+			if ft.Align() > align {
+				align = ft.Align()
+			}
+			continue
+		}
+		// Ordinary member.
+		closeBit()
+		if ft.Size() == 0 && ft.Kind() != KindArray {
+			return fmt.Errorf("ctype: field %q (#%d) has incomplete type %s", fs.Name, i, ft)
+		}
+		if s.Union {
+			fields = append(fields, Field{Name: fs.Name, Type: ft, Off: 0})
+			if ft.Size() > maxSize {
+				maxSize = ft.Size()
+			}
+		} else {
+			off = alignUp(off, ft.Align())
+			fields = append(fields, Field{Name: fs.Name, Type: ft, Off: off})
+			off += ft.Size()
+		}
+		if ft.Align() > align {
+			align = ft.Align()
+		}
+	}
+	size := off
+	if s.Union {
+		size = maxSize
+	}
+	size = alignUp(size, align)
+	if size == 0 {
+		size = alignUp(1, align) // empty structs occupy one aligned unit, as in gcc C++/gdb practice
+	}
+	s.Fields = fields
+	s.size = size
+	s.align = align
+	s.Incomplete = false
+	return nil
+}
+
+// StructOf builds and completes a struct in one step.
+func (a *Arch) StructOf(tag string, specs ...FieldSpec) (*Struct, error) {
+	s := a.NewStruct(tag, false)
+	if err := a.SetFields(s, specs); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// UnionOf builds and completes a union in one step.
+func (a *Arch) UnionOf(tag string, specs ...FieldSpec) (*Struct, error) {
+	s := a.NewStruct(tag, true)
+	if err := a.SetFields(s, specs); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// rank orders integer types for the usual arithmetic conversions.
+func rank(k Kind) int {
+	switch k {
+	case KindChar, KindSChar, KindUChar:
+		return 1
+	case KindShort, KindUShort:
+		return 2
+	case KindInt, KindUInt, KindEnum:
+		return 3
+	case KindLong, KindULong:
+		return 4
+	case KindLongLong, KindULongLong:
+		return 5
+	}
+	return 0
+}
+
+// Promote applies the C integer promotions: types narrower than int promote
+// to int (all their values fit, since plain char is signed and short is
+// 16 bits); enums promote to int; everything else is unchanged.
+func (a *Arch) Promote(t Type) Type {
+	s := Strip(t)
+	switch s.Kind() {
+	case KindChar, KindSChar, KindUChar, KindShort, KindUShort, KindEnum:
+		return a.Int
+	}
+	return s
+}
+
+// UsualArith applies the C usual arithmetic conversions to the promoted
+// operand types x and y, returning the common type.
+func (a *Arch) UsualArith(x, y Type) (Type, error) {
+	x, y = Strip(x), Strip(y)
+	if !IsArithmetic(x) || !IsArithmetic(y) {
+		return nil, fmt.Errorf("ctype: non-arithmetic operand (%s, %s)", x, y)
+	}
+	if x.Kind() == KindDouble || y.Kind() == KindDouble {
+		return a.Double, nil
+	}
+	if x.Kind() == KindFloat || y.Kind() == KindFloat {
+		// C89 promoted float operands to double; gdb and DUEL do the same.
+		return a.Double, nil
+	}
+	x, y = a.Promote(x), a.Promote(y)
+	xk, yk := x.Kind(), y.Kind()
+	if xk == yk {
+		return x, nil
+	}
+	xr, yr := rank(xk), rank(yk)
+	xu, yu := !IsSigned(x), !IsSigned(y)
+	switch {
+	case xu == yu:
+		if xr >= yr {
+			return x, nil
+		}
+		return y, nil
+	case xu && xr >= yr:
+		return x, nil
+	case yu && yr >= xr:
+		return y, nil
+	case !xu && x.Size() > y.Size():
+		return x, nil
+	case !yu && y.Size() > x.Size():
+		return y, nil
+	default:
+		// Signed type cannot represent all unsigned values: use the
+		// unsigned counterpart of the signed type.
+		if !xu {
+			return a.unsignedOf(x), nil
+		}
+		return a.unsignedOf(y), nil
+	}
+}
+
+func (a *Arch) unsignedOf(t Type) Type {
+	switch Strip(t).Kind() {
+	case KindInt:
+		return a.UInt
+	case KindLong:
+		return a.ULong
+	case KindLongLong:
+		return a.ULongLong
+	}
+	return t
+}

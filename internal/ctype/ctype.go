@@ -1,0 +1,440 @@
+// Package ctype models the C type system of the simulated debug target.
+//
+// It provides the primitive types, derived types (pointers, arrays, structs,
+// unions, enums, bitfields, functions, typedefs), C layout rules (sizes,
+// alignment, struct padding, bitfield packing), the integer promotion and
+// usual-arithmetic-conversion rules, and C declaration formatting.
+//
+// Types are created through an Arch, which fixes the data model (ILP32 or
+// LP64) exactly once; every Type produced by one Arch carries its final size
+// and alignment. The DUEL engine, the micro-C interpreter and the debugger
+// all share this package, mirroring the paper's observation that DUEL keeps
+// "its own type and value representations" compatible with, but independent
+// of, the host debugger.
+package ctype
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the fundamental classification of a type.
+type Kind int
+
+// The kinds of C types.
+const (
+	KindVoid Kind = iota
+	KindChar
+	KindSChar
+	KindUChar
+	KindShort
+	KindUShort
+	KindInt
+	KindUInt
+	KindLong
+	KindULong
+	KindLongLong
+	KindULongLong
+	KindFloat
+	KindDouble
+	KindEnum
+	KindPointer
+	KindArray
+	KindStruct
+	KindUnion
+	KindFunc
+	KindTypedef
+)
+
+var kindNames = map[Kind]string{
+	KindVoid:      "void",
+	KindChar:      "char",
+	KindSChar:     "signed char",
+	KindUChar:     "unsigned char",
+	KindShort:     "short",
+	KindUShort:    "unsigned short",
+	KindInt:       "int",
+	KindUInt:      "unsigned int",
+	KindLong:      "long",
+	KindULong:     "unsigned long",
+	KindLongLong:  "long long",
+	KindULongLong: "unsigned long long",
+	KindFloat:     "float",
+	KindDouble:    "double",
+	KindEnum:      "enum",
+	KindPointer:   "pointer",
+	KindArray:     "array",
+	KindStruct:    "struct",
+	KindUnion:     "union",
+	KindFunc:      "function",
+	KindTypedef:   "typedef",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Type is the interface satisfied by every C type.
+type Type interface {
+	// Kind reports the type's fundamental classification.
+	Kind() Kind
+	// Size reports sizeof(T) in bytes. Function types and incomplete
+	// types report 0.
+	Size() int
+	// Align reports the required alignment in bytes (at least 1).
+	Align() int
+	// String renders the type as a C type name, e.g. "struct symbol *".
+	String() string
+}
+
+// Basic is a primitive arithmetic type or void.
+type Basic struct {
+	kind  Kind
+	size  int
+	align int
+}
+
+// Kind implements Type.
+func (b *Basic) Kind() Kind { return b.kind }
+
+// Size implements Type.
+func (b *Basic) Size() int { return b.size }
+
+// Align implements Type.
+func (b *Basic) Align() int { return b.align }
+
+func (b *Basic) String() string { return kindNames[b.kind] }
+
+// Pointer is a pointer type.
+type Pointer struct {
+	Elem  Type
+	size  int
+	align int
+}
+
+// Kind implements Type.
+func (p *Pointer) Kind() Kind { return KindPointer }
+
+// Size implements Type.
+func (p *Pointer) Size() int { return p.size }
+
+// Align implements Type.
+func (p *Pointer) Align() int { return p.align }
+
+func (p *Pointer) String() string { return FormatDecl(p, "") }
+
+// Array is a C array type. Len < 0 denotes an incomplete array ("[]").
+type Array struct {
+	Elem Type
+	Len  int
+}
+
+// Kind implements Type.
+func (a *Array) Kind() Kind { return KindArray }
+
+// Size implements Type.
+func (a *Array) Size() int {
+	if a.Len < 0 {
+		return 0
+	}
+	return a.Len * a.Elem.Size()
+}
+
+// Align implements Type.
+func (a *Array) Align() int { return a.Elem.Align() }
+
+func (a *Array) String() string { return FormatDecl(a, "") }
+
+// Field is one member of a struct or union.
+type Field struct {
+	Name string
+	Type Type
+	// Off is the byte offset of the field's storage unit from the start
+	// of the enclosing struct.
+	Off int
+	// BitOff and BitWidth describe a bitfield within the storage unit at
+	// Off. BitWidth == 0 means the field is not a bitfield. BitOff counts
+	// from the least significant bit (little-endian allocation).
+	BitOff   int
+	BitWidth int
+}
+
+// IsBitfield reports whether the field is a bitfield member.
+func (f *Field) IsBitfield() bool { return f.BitWidth != 0 }
+
+// Struct is a struct or union type. A Struct with no fields and
+// Incomplete == true is a forward-declared tag.
+type Struct struct {
+	Tag    string // "" for anonymous
+	Union  bool
+	Fields []Field
+
+	Incomplete bool
+	size       int
+	align      int
+}
+
+// Kind implements Type.
+func (s *Struct) Kind() Kind {
+	if s.Union {
+		return KindUnion
+	}
+	return KindStruct
+}
+
+// Size implements Type.
+func (s *Struct) Size() int { return s.size }
+
+// Align implements Type.
+func (s *Struct) Align() int {
+	if s.align == 0 {
+		return 1
+	}
+	return s.align
+}
+
+func (s *Struct) String() string {
+	kw := "struct"
+	if s.Union {
+		kw = "union"
+	}
+	if s.Tag != "" {
+		return kw + " " + s.Tag
+	}
+	return kw + " {...}"
+}
+
+// Field returns the named field and true, or a zero Field and false.
+func (s *Struct) Field(name string) (*Field, bool) {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i], true
+		}
+	}
+	return nil, false
+}
+
+// EnumConst is one enumerator of an enum type.
+type EnumConst struct {
+	Name  string
+	Value int64
+}
+
+// Enum is an enumerated type; its representation is the Arch's int.
+type Enum struct {
+	Tag    string
+	Consts []EnumConst
+	size   int
+	align  int
+}
+
+// Kind implements Type.
+func (e *Enum) Kind() Kind { return KindEnum }
+
+// Size implements Type.
+func (e *Enum) Size() int { return e.size }
+
+// Align implements Type.
+func (e *Enum) Align() int { return e.align }
+
+func (e *Enum) String() string {
+	if e.Tag != "" {
+		return "enum " + e.Tag
+	}
+	return "enum {...}"
+}
+
+// Lookup returns the value of the named enumerator.
+func (e *Enum) Lookup(name string) (int64, bool) {
+	for _, c := range e.Consts {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Func is a function type. Functions are not objects: Size is 0.
+type Func struct {
+	Ret      Type
+	Params   []Type
+	Variadic bool
+}
+
+// Kind implements Type.
+func (f *Func) Kind() Kind { return KindFunc }
+
+// Size implements Type.
+func (f *Func) Size() int { return 0 }
+
+// Align implements Type.
+func (f *Func) Align() int { return 1 }
+
+func (f *Func) String() string { return FormatDecl(f, "") }
+
+// Typedef is a named alias for another type.
+type Typedef struct {
+	Name  string
+	Under Type
+}
+
+// Kind implements Type.
+func (t *Typedef) Kind() Kind { return KindTypedef }
+
+// Size implements Type.
+func (t *Typedef) Size() int { return t.Under.Size() }
+
+// Align implements Type.
+func (t *Typedef) Align() int { return t.Under.Align() }
+
+func (t *Typedef) String() string { return t.Name }
+
+// Strip removes typedef layers, returning the underlying type.
+func Strip(t Type) Type {
+	for {
+		td, ok := t.(*Typedef)
+		if !ok {
+			return t
+		}
+		t = td.Under
+	}
+}
+
+// IsVoid reports whether t (after stripping typedefs) is void.
+func IsVoid(t Type) bool { return Strip(t).Kind() == KindVoid }
+
+// IsInteger reports whether t is an integer type (including char, enum).
+func IsInteger(t Type) bool {
+	switch Strip(t).Kind() {
+	case KindChar, KindSChar, KindUChar, KindShort, KindUShort,
+		KindInt, KindUInt, KindLong, KindULong,
+		KindLongLong, KindULongLong, KindEnum:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is a floating type.
+func IsFloat(t Type) bool {
+	switch Strip(t).Kind() {
+	case KindFloat, KindDouble:
+		return true
+	}
+	return false
+}
+
+// IsArithmetic reports whether t is an integer or floating type.
+func IsArithmetic(t Type) bool { return IsInteger(t) || IsFloat(t) }
+
+// IsPointer reports whether t is a pointer type.
+func IsPointer(t Type) bool { return Strip(t).Kind() == KindPointer }
+
+// IsScalar reports whether t is arithmetic or a pointer.
+func IsScalar(t Type) bool { return IsArithmetic(t) || IsPointer(t) }
+
+// IsSigned reports whether the integer type t is signed. Plain char is
+// signed in this implementation (as on the VAX, MIPS and x86 ABIs).
+func IsSigned(t Type) bool {
+	switch Strip(t).Kind() {
+	case KindChar, KindSChar, KindShort, KindInt, KindLong, KindLongLong, KindEnum:
+		return true
+	}
+	return false
+}
+
+// PointerElem returns the pointee type of a pointer type.
+func PointerElem(t Type) (Type, bool) {
+	p, ok := Strip(t).(*Pointer)
+	if !ok {
+		return nil, false
+	}
+	return p.Elem, true
+}
+
+// Equal reports structural equality of two types. Typedefs compare equal to
+// their underlying types. Struct, union and enum types compare by identity
+// (same declaration), matching C's tag-based compatibility.
+func Equal(a, b Type) bool {
+	a, b = Strip(a), Strip(b)
+	if a == b {
+		return true
+	}
+	switch x := a.(type) {
+	case *Basic:
+		y, ok := b.(*Basic)
+		return ok && x.kind == y.kind
+	case *Pointer:
+		y, ok := b.(*Pointer)
+		return ok && Equal(x.Elem, y.Elem)
+	case *Array:
+		y, ok := b.(*Array)
+		return ok && x.Len == y.Len && Equal(x.Elem, y.Elem)
+	case *Func:
+		y, ok := b.(*Func)
+		if !ok || !Equal(x.Ret, y.Ret) || len(x.Params) != len(y.Params) || x.Variadic != y.Variadic {
+			return false
+		}
+		for i := range x.Params {
+			if !Equal(x.Params[i], y.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// FormatDecl renders a C declaration of name with type t, using the
+// inside-out declarator algorithm; with name == "" it renders an abstract
+// type name. Examples:
+//
+//	FormatDecl(ptr(structSymbol), "p")        = "struct symbol *p"
+//	FormatDecl(array(ptr(structSymbol),1024), "hash") = "struct symbol *hash[1024]"
+func FormatDecl(t Type, name string) string {
+	decl := name
+	for {
+		switch x := t.(type) {
+		case *Pointer:
+			decl = "*" + decl
+			t = x.Elem
+		case *Array:
+			if strings.HasPrefix(decl, "*") {
+				decl = "(" + decl + ")"
+			}
+			if x.Len < 0 {
+				decl += "[]"
+			} else {
+				decl += fmt.Sprintf("[%d]", x.Len)
+			}
+			t = x.Elem
+		case *Func:
+			if strings.HasPrefix(decl, "*") {
+				decl = "(" + decl + ")"
+			}
+			var ps []string
+			for _, p := range x.Params {
+				ps = append(ps, FormatDecl(p, ""))
+			}
+			if x.Variadic {
+				ps = append(ps, "...")
+			}
+			if len(ps) == 0 {
+				ps = []string{"void"}
+			}
+			decl += "(" + strings.Join(ps, ", ") + ")"
+			t = x.Ret
+		default:
+			base := t.String()
+			if decl == "" {
+				return base
+			}
+			if strings.HasPrefix(decl, "*") {
+				return base + " " + decl
+			}
+			return base + " " + decl
+		}
+	}
+}

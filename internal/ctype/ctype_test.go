@@ -1,0 +1,420 @@
+package ctype
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSizesILP32(t *testing.T) {
+	a := New(ILP32)
+	cases := []struct {
+		t    Type
+		size int
+	}{
+		{a.Char, 1}, {a.SChar, 1}, {a.UChar, 1},
+		{a.Short, 2}, {a.UShort, 2},
+		{a.Int, 4}, {a.UInt, 4},
+		{a.Long, 4}, {a.ULong, 4},
+		{a.LongLong, 8}, {a.ULongLong, 8},
+		{a.Float, 4}, {a.Double, 8},
+		{a.Ptr(a.Int), 4},
+	}
+	for _, c := range cases {
+		if c.t.Size() != c.size {
+			t.Errorf("%s: size = %d, want %d", c.t, c.t.Size(), c.size)
+		}
+		if c.t.Align() != c.size {
+			t.Errorf("%s: align = %d, want natural %d", c.t, c.t.Align(), c.size)
+		}
+	}
+}
+
+func TestBasicSizesLP64(t *testing.T) {
+	a := New(LP64)
+	if got := a.Long.Size(); got != 8 {
+		t.Errorf("LP64 long size = %d, want 8", got)
+	}
+	if got := a.Ptr(a.Void).Size(); got != 8 {
+		t.Errorf("LP64 pointer size = %d, want 8", got)
+	}
+	if got := a.Int.Size(); got != 4 {
+		t.Errorf("LP64 int size = %d, want 4", got)
+	}
+}
+
+func TestArraySize(t *testing.T) {
+	a := New(ILP32)
+	arr := a.ArrayOf(a.Int, 10)
+	if arr.Size() != 40 {
+		t.Errorf("int[10] size = %d, want 40", arr.Size())
+	}
+	if arr.Align() != 4 {
+		t.Errorf("int[10] align = %d, want 4", arr.Align())
+	}
+	inc := a.ArrayOf(a.Int, -1)
+	if inc.Size() != 0 {
+		t.Errorf("int[] size = %d, want 0", inc.Size())
+	}
+}
+
+// TestStructLayoutPaper checks the paper's struct symbol layout on ILP32:
+// char *name (0), int scope (4), struct symbol *next (8) — 12 bytes.
+func TestStructLayoutPaper(t *testing.T) {
+	a := New(ILP32)
+	sym := a.NewStruct("symbol", false)
+	err := a.SetFields(sym, []FieldSpec{
+		{Name: "name", Type: a.Ptr(a.Char)},
+		{Name: "scope", Type: a.Int},
+		{Name: "next", Type: a.Ptr(sym)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Size() != 12 {
+		t.Errorf("struct symbol size = %d, want 12", sym.Size())
+	}
+	wantOffs := map[string]int{"name": 0, "scope": 4, "next": 8}
+	for name, off := range wantOffs {
+		f, ok := sym.Field(name)
+		if !ok {
+			t.Fatalf("missing field %q", name)
+		}
+		if f.Off != off {
+			t.Errorf("field %s off = %d, want %d", name, f.Off, off)
+		}
+	}
+}
+
+func TestStructPadding(t *testing.T) {
+	a := New(ILP32)
+	s, err := a.StructOf("p",
+		FieldSpec{Name: "c", Type: a.Char},
+		FieldSpec{Name: "i", Type: a.Int},
+		FieldSpec{Name: "c2", Type: a.Char},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c at 0, i at 4 (padded), c2 at 8, total padded to 12.
+	if f, _ := s.Field("i"); f.Off != 4 {
+		t.Errorf("i off = %d, want 4", f.Off)
+	}
+	if f, _ := s.Field("c2"); f.Off != 8 {
+		t.Errorf("c2 off = %d, want 8", f.Off)
+	}
+	if s.Size() != 12 {
+		t.Errorf("size = %d, want 12", s.Size())
+	}
+	if s.Align() != 4 {
+		t.Errorf("align = %d, want 4", s.Align())
+	}
+}
+
+func TestStructDoubleAlign(t *testing.T) {
+	a := New(LP64)
+	s, err := a.StructOf("d",
+		FieldSpec{Name: "c", Type: a.Char},
+		FieldSpec{Name: "d", Type: a.Double},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := s.Field("d"); f.Off != 8 {
+		t.Errorf("d off = %d, want 8", f.Off)
+	}
+	if s.Size() != 16 {
+		t.Errorf("size = %d, want 16", s.Size())
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	a := New(ILP32)
+	u, err := a.UnionOf("u",
+		FieldSpec{Name: "i", Type: a.Int},
+		FieldSpec{Name: "d", Type: a.Double},
+		FieldSpec{Name: "c", Type: a.Char},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Size() != 8 {
+		t.Errorf("union size = %d, want 8", u.Size())
+	}
+	for _, name := range []string{"i", "d", "c"} {
+		if f, _ := u.Field(name); f.Off != 0 {
+			t.Errorf("union field %s off = %d, want 0", name, f.Off)
+		}
+	}
+}
+
+func TestBitfieldPacking(t *testing.T) {
+	a := New(ILP32)
+	s, err := a.StructOf("flags",
+		FieldSpec{Name: "a", Type: a.Int, BitWidth: 3},
+		FieldSpec{Name: "b", Type: a.Int, BitWidth: 5},
+		FieldSpec{Name: "c", Type: a.Int, BitWidth: 25}, // doesn't fit: new unit
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := s.Field("a")
+	fb, _ := s.Field("b")
+	fc, _ := s.Field("c")
+	if fa.Off != 0 || fa.BitOff != 0 || fa.BitWidth != 3 {
+		t.Errorf("a = %+v", fa)
+	}
+	if fb.Off != 0 || fb.BitOff != 3 {
+		t.Errorf("b = %+v", fb)
+	}
+	if fc.Off != 4 || fc.BitOff != 0 {
+		t.Errorf("c = %+v (want new unit at 4)", fc)
+	}
+	if s.Size() != 8 {
+		t.Errorf("size = %d, want 8", s.Size())
+	}
+}
+
+func TestBitfieldZeroWidth(t *testing.T) {
+	a := New(ILP32)
+	s, err := a.StructOf("z",
+		FieldSpec{Name: "a", Type: a.Int, BitWidth: 3},
+		FieldSpec{Type: a.Int, BitWidth: -1}, // ":0" closes the unit
+		FieldSpec{Name: "b", Type: a.Int, BitWidth: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := s.Field("b")
+	if fb.Off != 4 {
+		t.Errorf("b off = %d, want 4 after :0", fb.Off)
+	}
+}
+
+func TestBitfieldErrors(t *testing.T) {
+	a := New(ILP32)
+	if _, err := a.StructOf("bad", FieldSpec{Name: "f", Type: a.Float, BitWidth: 3}); err == nil {
+		t.Error("float bitfield accepted")
+	}
+	if _, err := a.StructOf("bad2", FieldSpec{Name: "w", Type: a.Int, BitWidth: 40}); err == nil {
+		t.Error("over-wide bitfield accepted")
+	}
+}
+
+func TestIncompleteStruct(t *testing.T) {
+	a := New(ILP32)
+	s := a.NewStruct("fwd", false)
+	if !s.Incomplete || s.Size() != 0 {
+		t.Errorf("fresh struct: incomplete=%v size=%d", s.Incomplete, s.Size())
+	}
+	if err := a.SetFields(s, []FieldSpec{{Name: "x", Type: a.Int}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Incomplete {
+		t.Error("still incomplete after SetFields")
+	}
+	if err := a.SetFields(s, nil); err == nil {
+		t.Error("double completion accepted")
+	}
+}
+
+func TestSelfRefThroughPointerOnly(t *testing.T) {
+	a := New(ILP32)
+	s := a.NewStruct("n", false)
+	if err := a.SetFields(s, []FieldSpec{{Name: "self", Type: s}}); err == nil {
+		t.Error("direct self-embedding (incomplete member) accepted")
+	}
+}
+
+func TestTypedefStrip(t *testing.T) {
+	a := New(ILP32)
+	td := &Typedef{Name: "myint", Under: a.Int}
+	td2 := &Typedef{Name: "myint2", Under: td}
+	if Strip(td2) != a.Int {
+		t.Error("Strip through two typedef layers failed")
+	}
+	if td2.Size() != 4 || td2.Align() != 4 {
+		t.Error("typedef size/align not delegated")
+	}
+	if !Equal(td2, a.Int) {
+		t.Error("typedef not Equal to underlying")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	a := New(ILP32)
+	e := a.EnumOf("color", []EnumConst{{Name: "RED", Value: 0}})
+	cases := []struct {
+		t                      Type
+		integer, flt, ptr, sgn bool
+	}{
+		{a.Char, true, false, false, true},
+		{a.UChar, true, false, false, false},
+		{a.Int, true, false, false, true},
+		{a.UInt, true, false, false, false},
+		{a.Double, false, true, false, false},
+		{a.Ptr(a.Int), false, false, true, false},
+		{e, true, false, false, true},
+	}
+	for _, c := range cases {
+		if IsInteger(c.t) != c.integer {
+			t.Errorf("%s IsInteger = %v", c.t, !c.integer)
+		}
+		if IsFloat(c.t) != c.flt {
+			t.Errorf("%s IsFloat = %v", c.t, !c.flt)
+		}
+		if IsPointer(c.t) != c.ptr {
+			t.Errorf("%s IsPointer = %v", c.t, !c.ptr)
+		}
+		if c.integer && IsSigned(c.t) != c.sgn {
+			t.Errorf("%s IsSigned = %v", c.t, !c.sgn)
+		}
+	}
+}
+
+func TestUsualArith(t *testing.T) {
+	a := New(ILP32)
+	cases := []struct {
+		x, y, want Type
+	}{
+		{a.Char, a.Char, a.Int},
+		{a.Short, a.UShort, a.Int},
+		{a.Int, a.UInt, a.UInt},
+		{a.Int, a.Long, a.Long},
+		{a.UInt, a.Long, a.ULong}, // ILP32: long can't hold all uint: unsigned long
+		{a.Int, a.Double, a.Double},
+		{a.Float, a.Int, a.Double}, // C89 float promotion
+		{a.LongLong, a.UInt, a.LongLong},
+		{a.ULongLong, a.Int, a.ULongLong},
+	}
+	for _, c := range cases {
+		got, err := a.UsualArith(c.x, c.y)
+		if err != nil {
+			t.Errorf("UsualArith(%s, %s): %v", c.x, c.y, err)
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("UsualArith(%s, %s) = %s, want %s", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestUsualArithLP64(t *testing.T) {
+	a := New(LP64)
+	got, err := a.UsualArith(a.UInt, a.Long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LP64: long (64 bits) holds all uint (32 bits) values: result long.
+	if !Equal(got, a.Long) {
+		t.Errorf("LP64 UsualArith(uint, long) = %s, want long", got)
+	}
+}
+
+func TestUsualArithCommutes(t *testing.T) {
+	a := New(ILP32)
+	all := []Type{a.Char, a.SChar, a.UChar, a.Short, a.UShort, a.Int, a.UInt,
+		a.Long, a.ULong, a.LongLong, a.ULongLong, a.Float, a.Double}
+	f := func(i, j uint8) bool {
+		x := all[int(i)%len(all)]
+		y := all[int(j)%len(all)]
+		a1, e1 := a.UsualArith(x, y)
+		a2, e2 := a.UsualArith(y, x)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		return e1 != nil || Equal(a1, a2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatDecl(t *testing.T) {
+	a := New(ILP32)
+	sym := a.NewStruct("symbol", false)
+	_ = a.SetFields(sym, []FieldSpec{{Name: "scope", Type: a.Int}})
+	cases := []struct {
+		t    Type
+		name string
+		want string
+	}{
+		{a.Int, "x", "int x"},
+		{a.Ptr(sym), "p", "struct symbol *p"},
+		{a.ArrayOf(a.Ptr(sym), 1024), "hash", "struct symbol *hash[1024]"},
+		{a.Ptr(a.ArrayOf(a.Int, 10)), "ap", "int (*ap)[10]"},
+		{a.ArrayOf(a.ArrayOf(a.Int, 3), 2), "m", "int m[2][3]"},
+		{a.FuncOf(a.Int, []Type{a.Ptr(a.Char)}, true), "printf", "int printf(char *, ...)"},
+		{a.Ptr(a.FuncOf(a.Void, nil, false)), "fp", "void (*fp)(void)"},
+		{a.Ptr(a.Ptr(a.Char)), "argv", "char **argv"},
+		{a.Ptr(a.Char), "", "char *"},
+		{a.ArrayOf(a.Int, -1), "v", "int v[]"},
+	}
+	for _, c := range cases {
+		if got := FormatDecl(c.t, c.name); got != c.want {
+			t.Errorf("FormatDecl = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEnum(t *testing.T) {
+	a := New(ILP32)
+	e := a.EnumOf("color", []EnumConst{{"RED", 0}, {"GREEN", 5}, {"BLUE", 6}})
+	if e.Size() != 4 {
+		t.Errorf("enum size = %d, want 4", e.Size())
+	}
+	if v, ok := e.Lookup("GREEN"); !ok || v != 5 {
+		t.Errorf("GREEN = %d,%v", v, ok)
+	}
+	if _, ok := e.Lookup("PINK"); ok {
+		t.Error("unknown enumerator found")
+	}
+	if e.String() != "enum color" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	a := New(ILP32)
+	if !Equal(a.Ptr(a.Int), a.Ptr(a.Int)) {
+		t.Error("identical pointer types unequal")
+	}
+	if Equal(a.Ptr(a.Int), a.Ptr(a.UInt)) {
+		t.Error("int* equal to unsigned*")
+	}
+	s1, _ := a.StructOf("s", FieldSpec{Name: "x", Type: a.Int})
+	s2, _ := a.StructOf("s", FieldSpec{Name: "x", Type: a.Int})
+	if Equal(s1, s2) {
+		t.Error("distinct struct declarations compare equal (want identity semantics)")
+	}
+	if !Equal(s1, s1) {
+		t.Error("struct not equal to itself")
+	}
+	f1 := a.FuncOf(a.Int, []Type{a.Int}, false)
+	f2 := a.FuncOf(a.Int, []Type{a.Int}, true)
+	if Equal(f1, f2) {
+		t.Error("variadicness ignored")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	a := New(ILP32)
+	for _, ty := range []Type{a.Char, a.SChar, a.UChar, a.Short, a.UShort} {
+		if got := a.Promote(ty); !Equal(got, a.Int) {
+			t.Errorf("Promote(%s) = %s, want int", ty, got)
+		}
+	}
+	if got := a.Promote(a.UInt); !Equal(got, a.UInt) {
+		t.Errorf("Promote(uint) = %s", got)
+	}
+}
+
+func TestEmptyStructSize(t *testing.T) {
+	a := New(ILP32)
+	s, err := a.StructOf("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() == 0 {
+		t.Error("empty struct has size 0; objects must have distinct addresses")
+	}
+}

@@ -1,0 +1,94 @@
+// Package dbgif defines the narrow two-way interface between DUEL and a host
+// debugger, mirroring the interface the paper describes (§Implementation):
+//
+//	duel_get_target_bytes / duel_put_target_bytes
+//	duel_alloc_target_space
+//	duel_call_target_func
+//	duel_get_target_variable
+//	duel_get_target_typedef/struct/union/enum
+//
+// plus the "few other miscellaneous functions" the paper mentions: the
+// number of active frames, frame-local lookup, and address validity.
+//
+// The DUEL engine (internal/core, internal/duel/value) touches target state
+// only through this interface, so DUEL can be attached to any debugger that
+// implements it. internal/debugger implements it over the simulated target;
+// tests include an independent in-memory implementation to demonstrate the
+// interface is sufficient.
+package dbgif
+
+import "duel/internal/ctype"
+
+// Value is a typed rvalue crossing the interface: raw bytes of a C value in
+// target representation. (The paper's interface module spends ~100 lines
+// "converting between gdb and Duel types"; our adapter does the same
+// conversion between Value and the target's internal datum type.)
+type Value struct {
+	Type  ctype.Type
+	Bytes []byte
+}
+
+// VarInfo describes a target symbol: its type and the address of its
+// storage (for functions, the entry address).
+type VarInfo struct {
+	Name string
+	Type ctype.Type
+	Addr uint64
+}
+
+// Debugger is everything DUEL needs from a host debugger.
+type Debugger interface {
+	// Arch reports the target's data model.
+	Arch() *ctype.Arch
+
+	// GetTargetBytes copies n bytes from the target address space
+	// (duel_get_target_bytes).
+	GetTargetBytes(addr uint64, n int) ([]byte, error)
+
+	// PutTargetBytes copies bytes into the target address space
+	// (duel_put_target_bytes).
+	PutTargetBytes(addr uint64, b []byte) error
+
+	// ValidTargetAddr reports whether [addr, addr+n) is mapped; the -->
+	// expansion operators use it to stop at invalid pointers.
+	ValidTargetAddr(addr uint64, n int) bool
+
+	// AllocTargetSpace allocates n bytes in the target
+	// (duel_alloc_target_space); DUEL declarations such as "int i;"
+	// allocate their storage here.
+	AllocTargetSpace(n, align int) (uint64, error)
+
+	// CallTargetFunc calls the function at the given entry address
+	// (duel_call_target_func).
+	CallTargetFunc(addr uint64, args []Value) (Value, error)
+
+	// GetTargetVariable returns value/type information for a symbol
+	// (duel_get_target_variable): frame locals of the selected frame
+	// shadow globals; function names yield their entry address with a
+	// function type. The second result is false if the name is unknown.
+	GetTargetVariable(name string) (VarInfo, bool)
+
+	// FrameVariable resolves a name in the locals of frame level
+	// (0 = innermost).
+	FrameVariable(level int, name string) (VarInfo, bool)
+
+	// FrameLocals lists the locals (including parameters) of a frame.
+	FrameLocals(level int) ([]VarInfo, bool)
+
+	// NumFrames reports the number of active stack frames.
+	NumFrames() int
+
+	// LookupTypedef resolves a typedef name
+	// (duel_get_target_typedef).
+	LookupTypedef(name string) (ctype.Type, bool)
+
+	// LookupStruct resolves a struct or union tag
+	// (duel_get_target_struct/union).
+	LookupStruct(tag string, union bool) (*ctype.Struct, bool)
+
+	// LookupEnum resolves an enum tag (duel_get_target_enum).
+	LookupEnum(tag string) (*ctype.Enum, bool)
+
+	// LookupEnumConst resolves an enumeration constant by name.
+	LookupEnumConst(name string) (ctype.Type, int64, bool)
+}

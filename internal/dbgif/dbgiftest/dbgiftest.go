@@ -1,0 +1,192 @@
+// Package dbgiftest is a conformance battery for implementations of the
+// narrow DUEL-debugger interface. The paper's portability claim — DUEL runs
+// wherever the seven interface functions can be provided — is only credible
+// if every implementation behaves identically at the interface level; this
+// battery is run against both the mini-debugger (internal/debugger) and the
+// independent flat-RAM fake (internal/fakedbg).
+package dbgiftest
+
+import (
+	"testing"
+
+	"duel/internal/ctype"
+	"duel/internal/dbgif"
+)
+
+// Fixture describes the symbols a conforming test target must expose:
+//
+//	int    g          = 42
+//	int    arr[4]     = {1, 2, 3, 4}
+//	char  *msg        -> "hi"
+//	struct pair { int x, y; } pt = {7, 8}   (tag "pair" resolvable)
+//	typedef int myint
+//	enum color { RED = 0, BLUE = 6 }        (tag "color" resolvable)
+//	int twice(int)    — callable, returns its argument doubled
+//
+// Implementations construct the fixture their own way and report the
+// locations here.
+type Fixture struct {
+	D dbgif.Debugger
+
+	G    dbgif.VarInfo
+	Arr  dbgif.VarInfo
+	Msg  dbgif.VarInfo
+	Pt   dbgif.VarInfo
+	Fn   dbgif.VarInfo // twice
+	Pair *ctype.Struct
+}
+
+// Run exercises every method of the interface against the fixture.
+func Run(t *testing.T, f Fixture) {
+	t.Helper()
+	d := f.D
+	a := d.Arch()
+	if a == nil {
+		t.Fatal("Arch() returned nil")
+	}
+
+	t.Run("variables", func(t *testing.T) {
+		vi, ok := d.GetTargetVariable("g")
+		if !ok || vi.Addr != f.G.Addr || !ctype.Equal(vi.Type, a.Int) {
+			t.Errorf("GetTargetVariable(g) = %+v, %v", vi, ok)
+		}
+		if _, ok := d.GetTargetVariable("nonexistent"); ok {
+			t.Error("phantom variable resolved")
+		}
+		fn, ok := d.GetTargetVariable("twice")
+		if !ok || fn.Addr != f.Fn.Addr {
+			t.Errorf("function symbol = %+v, %v", fn, ok)
+		}
+		if _, ok := ctype.Strip(fn.Type).(*ctype.Func); !ok {
+			t.Errorf("function symbol type = %s", fn.Type)
+		}
+	})
+
+	t.Run("memory", func(t *testing.T) {
+		b, err := d.GetTargetBytes(f.G.Addr, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != 42 {
+			t.Errorf("g bytes = %v", b)
+		}
+		if err := d.PutTargetBytes(f.G.Addr, []byte{99, 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		b, _ = d.GetTargetBytes(f.G.Addr, 4)
+		if b[0] != 99 {
+			t.Error("write not visible")
+		}
+		// Restore for other subtests.
+		_ = d.PutTargetBytes(f.G.Addr, []byte{42, 0, 0, 0})
+
+		if _, err := d.GetTargetBytes(0, 4); err == nil {
+			t.Error("NULL read succeeded")
+		}
+		if d.ValidTargetAddr(0, 1) {
+			t.Error("NULL valid")
+		}
+		if !d.ValidTargetAddr(f.Arr.Addr, 16) {
+			t.Error("array address invalid")
+		}
+		if d.ValidTargetAddr(^uint64(0)-16, 8) {
+			t.Error("top-of-space valid")
+		}
+	})
+
+	t.Run("strings", func(t *testing.T) {
+		// msg is a char*: follow it and read the text.
+		pb, err := d.GetTargetBytes(f.Msg.Addr, a.PtrSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var addr uint64
+		for i := a.PtrSize - 1; i >= 0; i-- {
+			addr = addr<<8 | uint64(pb[i])
+		}
+		sb, err := d.GetTargetBytes(addr, 3)
+		if err != nil || string(sb[:2]) != "hi" || sb[2] != 0 {
+			t.Errorf("msg -> %q, %v", sb, err)
+		}
+	})
+
+	t.Run("alloc", func(t *testing.T) {
+		p1, err := d.AllocTargetSpace(16, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1%8 != 0 {
+			t.Errorf("allocation at 0x%x not aligned", p1)
+		}
+		p2, err := d.AllocTargetSpace(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p2 == p1 {
+			t.Error("allocations overlap")
+		}
+		if !d.ValidTargetAddr(p1, 16) {
+			t.Error("allocated space not addressable")
+		}
+		if err := d.PutTargetBytes(p1, []byte{1, 2, 3}); err != nil {
+			t.Errorf("allocated space not writable: %v", err)
+		}
+	})
+
+	t.Run("call", func(t *testing.T) {
+		arg := dbgif.Value{Type: a.Int, Bytes: []byte{21, 0, 0, 0}}
+		out, err := d.CallTargetFunc(f.Fn.Addr, []dbgif.Value{arg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Bytes) < 1 || out.Bytes[0] != 42 {
+			t.Errorf("twice(21) = %v", out.Bytes)
+		}
+		if _, err := d.CallTargetFunc(0xdeadbeef, nil); err == nil {
+			t.Error("call to bad address succeeded")
+		}
+	})
+
+	t.Run("types", func(t *testing.T) {
+		td, ok := d.LookupTypedef("myint")
+		if !ok || !ctype.Equal(td, a.Int) {
+			t.Errorf("typedef myint = %v, %v", td, ok)
+		}
+		if _, ok := d.LookupTypedef("ghost"); ok {
+			t.Error("phantom typedef")
+		}
+		s, ok := d.LookupStruct("pair", false)
+		if !ok || s != f.Pair {
+			t.Errorf("struct pair = %v, %v", s, ok)
+		}
+		if _, ok := d.LookupStruct("pair", true); ok {
+			t.Error("struct tag leaked into union namespace")
+		}
+		e, ok := d.LookupEnum("color")
+		if !ok {
+			t.Fatal("enum color missing")
+		}
+		if v, ok := e.Lookup("BLUE"); !ok || v != 6 {
+			t.Errorf("BLUE = %d, %v", v, ok)
+		}
+		if _, v, ok := d.LookupEnumConst("BLUE"); !ok || v != 6 {
+			t.Errorf("LookupEnumConst(BLUE) = %d, %v", v, ok)
+		}
+		if _, _, ok := d.LookupEnumConst("MAGENTA"); ok {
+			t.Error("phantom enumerator")
+		}
+	})
+
+	t.Run("frames", func(t *testing.T) {
+		// With no frames, frame queries must fail cleanly.
+		if n := d.NumFrames(); n != 0 {
+			t.Skipf("fixture has %d live frames; frame conformance covered elsewhere", n)
+		}
+		if _, ok := d.FrameVariable(0, "g"); ok {
+			t.Error("frame variable resolved with no frames")
+		}
+		if _, ok := d.FrameLocals(0); ok {
+			t.Error("frame locals resolved with no frames")
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package debugger
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"duel"
+	"duel/internal/duel/ast"
+)
+
+// The paper's Discussion proposes annotating programs with assertions
+// "written in a Duel-like language", giving "x[0] through x[n] are positive"
+// as the motivating complex assertion. The assert command implements exactly
+// that: a DUEL expression checked after every statement, where the assertion
+// HOLDS while every produced value is non-zero (and an empty sequence
+// holds). The one-liner for the paper's example is
+//
+//	assert x[0..n] > 0
+//
+// which stops execution the moment any element goes non-positive, reporting
+// the violating values symbolically.
+
+// assertion is one registered program assertion.
+type assertion struct {
+	id   int
+	src  string
+	node *ast.Node
+	// disabled is set after a violation or evaluation error, so a broken
+	// assertion reports once instead of stopping on every statement.
+	disabled bool
+}
+
+// cmdAssert registers an assertion, or lists them with no argument.
+func (r *REPL) cmdAssert(src string) error {
+	src = strings.TrimSpace(src)
+	if src == "" {
+		if len(r.asserts) == 0 {
+			r.printf("no assertions\n")
+			return nil
+		}
+		for _, a := range r.asserts {
+			state := ""
+			if a.disabled {
+				state = " (disabled)"
+			}
+			r.printf("%d: assert %s%s\n", a.id, a.src, state)
+		}
+		return nil
+	}
+	n, err := r.Ses.Parse(src)
+	if err != nil {
+		return err
+	}
+	r.assertSeq++
+	a := &assertion{id: r.assertSeq, src: src, node: n}
+	r.asserts = append(r.asserts, a)
+	r.printf("assertion %d: %s\n", a.id, src)
+	return nil
+}
+
+// cmdUnassert removes an assertion by id, or all of them.
+func (r *REPL) cmdUnassert(arg string) error {
+	if arg == "" {
+		r.asserts = nil
+		r.printf("all assertions deleted\n")
+		return nil
+	}
+	id, err := strconv.Atoi(arg)
+	if err != nil {
+		return fmt.Errorf("usage: unassert [id]")
+	}
+	for i, a := range r.asserts {
+		if a.id == id {
+			r.asserts = append(r.asserts[:i], r.asserts[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("no assertion %d", id)
+}
+
+// checkAsserts evaluates every enabled assertion, reporting the first
+// violated one. A violation prints the zero-valued results symbolically —
+// the paper's point that the display pinpoints the failing elements.
+func (r *REPL) checkAsserts() *assertion {
+	for _, a := range r.asserts {
+		if a.disabled {
+			continue
+		}
+		var violations []string
+		err := r.Ses.EvalNode(a.node, func(res duel.Result) error {
+			if res.Text == "0" || res.Text == "0x0" || res.Text == `'\0'` {
+				violations = append(violations, res.Line())
+			}
+			return nil
+		})
+		if err != nil {
+			a.disabled = true
+			r.printf("assertion %d (%s): evaluation failed: %v (disabled)\n", a.id, a.src, err)
+			continue
+		}
+		if len(violations) > 0 {
+			a.disabled = true // re-enable by re-asserting
+			r.printf("assertion %d violated: %s\n", a.id, a.src)
+			for _, v := range violations {
+				r.printf("  %s\n", v)
+			}
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package debugger_test
+
+import (
+	"testing"
+
+	"duel/internal/ctype"
+	"duel/internal/dbgif"
+	"duel/internal/dbgif/dbgiftest"
+	"duel/internal/debugger"
+	"duel/internal/microc"
+	"duel/internal/target"
+)
+
+// TestConformance runs the narrow-interface battery against the real
+// mini-debugger over a micro-C-built process — the same battery the
+// flat-RAM fake passes, proving DUEL sees identical behaviour from both.
+func TestConformance(t *testing.T) {
+	p := target.MustNewProcess(target.Config{Model: ctype.ILP32, DataSize: 1 << 18, HeapSize: 1 << 16, StackSize: 1 << 14})
+	d := debugger.New(p)
+	in, err := microc.Load(p, d, `
+typedef int myint;
+enum color { RED, BLUE = 6 };
+struct pair { int x, y; };
+
+int g = 42;
+int arr[4] = {1, 2, 3, 4};
+char *msg = "hi";
+struct pair pt = {7, 8};
+
+int twice(int n) { return 2 * n; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = in
+	get := func(name string) dbgif.VarInfo {
+		vi, ok := d.GetTargetVariable(name)
+		if !ok {
+			t.Fatalf("missing %q", name)
+		}
+		return vi
+	}
+	pair, ok := d.LookupStruct("pair", false)
+	if !ok {
+		t.Fatal("missing struct pair")
+	}
+	dbgiftest.Run(t, dbgiftest.Fixture{
+		D:    d,
+		G:    get("g"),
+		Arr:  get("arr"),
+		Msg:  get("msg"),
+		Pt:   get("pt"),
+		Fn:   get("twice"),
+		Pair: pair,
+	})
+}

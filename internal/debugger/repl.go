@@ -1,0 +1,602 @@
+package debugger
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"duel"
+	"duel/internal/cparse"
+	"duel/internal/ctype"
+	"duel/internal/microc"
+	"duel/internal/target"
+)
+
+// REPL is the interactive mini-debugger: load a micro-C program, run it with
+// breakpoints and stepping, inspect frames, and query state with print and
+// the paper's one new command, duel.
+type REPL struct {
+	Dbg    *Debugger
+	Interp *microc.Interp
+	Ses    *duel.Session
+
+	in     *bufio.Scanner
+	out    io.Writer
+	prompt string
+
+	funcBps map[string]bool
+	lineBps map[int]bool
+	// Conditional breakpoints (break ... if <duel-expr>).
+	funcConds  map[string]*condBreak
+	lineConds  map[int]*condBreak
+	condErrors map[string]bool
+	// Watchpoints over DUEL expressions.
+	watches  []*watchpoint
+	watchSeq int
+	// Assertions (DUEL invariants checked after every statement).
+	asserts   []*assertion
+	assertSeq int
+	// Command history for the history command.
+	history []string
+	// srcLines holds the loaded program for the list command.
+	srcLines []string
+	// lastStop tracks the current location for list.
+	lastStopLine int
+	// stepping requests a stop at the next statement.
+	stepping bool
+	// running is true while the target executes (nested prompt).
+	running bool
+}
+
+// errQuit unwinds a run when the user quits mid-execution.
+var errQuit = errors.New("debugger: quit")
+
+// NewREPL loads src into a fresh process and returns a ready REPL.
+func NewREPL(src string, in io.Reader, out io.Writer, cfg target.Config) (*REPL, error) {
+	p, err := target.NewProcess(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.Stdout = out
+	dbg := New(p)
+	interp, err := microc.Load(p, dbg, src)
+	if err != nil {
+		return nil, err
+	}
+	ses, err := duel.NewSession(dbg)
+	if err != nil {
+		return nil, err
+	}
+	r := &REPL{
+		Dbg:        dbg,
+		Interp:     interp,
+		Ses:        ses,
+		srcLines:   strings.Split(src, "\n"),
+		in:         bufio.NewScanner(in),
+		out:        out,
+		prompt:     "(mdb) ",
+		funcBps:    map[string]bool{},
+		lineBps:    map[int]bool{},
+		funcConds:  map[string]*condBreak{},
+		lineConds:  map[int]*condBreak{},
+		condErrors: map[string]bool{},
+	}
+	interp.Hook = r.hook
+	return r, nil
+}
+
+func (r *REPL) printf(format string, args ...any) {
+	fmt.Fprintf(r.out, format, args...)
+}
+
+// Loop runs the top-level command loop until quit or EOF.
+func (r *REPL) Loop() error {
+	r.printf("mdb: a mini source-level debugger with DUEL. Type \"help\" for commands.\n")
+	for {
+		r.printf("%s", r.prompt)
+		if !r.in.Scan() {
+			r.printf("\n")
+			return r.in.Err()
+		}
+		quit, err := r.Command(strings.TrimSpace(r.in.Text()))
+		if err != nil {
+			r.printf("%v\n", err)
+		}
+		if quit {
+			return nil
+		}
+	}
+}
+
+// Command executes one debugger command; quit reports a request to exit.
+func (r *REPL) Command(line string) (quit bool, err error) {
+	if line == "" {
+		return false, nil
+	}
+	// "!n" re-executes history entry n (the paper's Discussion suggests a
+	// query history for common, program-specific queries).
+	if strings.HasPrefix(line, "!") {
+		n, err := strconv.Atoi(strings.TrimSpace(line[1:]))
+		if err != nil || n < 1 || n > len(r.history) {
+			return false, fmt.Errorf("no history entry %q", line[1:])
+		}
+		line = r.history[n-1]
+		r.printf("%s\n", line)
+	} else if line != "history" {
+		r.history = append(r.history, line)
+	}
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "quit", "q", "exit":
+		if r.running {
+			return false, errQuit // unwound by run
+		}
+		return true, nil
+	case "help", "h":
+		r.help()
+		return false, nil
+	case "run", "r":
+		return false, r.cmdRun(strings.Fields(rest))
+	case "call":
+		return false, r.cmdCall(rest)
+	case "break", "b":
+		return false, r.cmdBreak(rest)
+	case "delete", "d":
+		return false, r.cmdDelete(rest)
+	case "continue", "c":
+		if !r.running {
+			return false, fmt.Errorf("the program is not running")
+		}
+		r.stepping = false
+		return true, nil // leaves the nested prompt; run resumes
+	case "step", "s", "next", "n":
+		if !r.running {
+			return false, fmt.Errorf("the program is not running")
+		}
+		r.stepping = true
+		return true, nil
+	case "watch", "w":
+		return false, r.cmdWatch(rest)
+	case "unwatch":
+		return false, r.cmdUnwatch(rest)
+	case "assert":
+		return false, r.cmdAssert(rest)
+	case "unassert":
+		return false, r.cmdUnassert(rest)
+	case "history":
+		for i, h := range r.history {
+			r.printf("%3d  %s\n", i+1, h)
+		}
+		return false, nil
+	case "backtrace", "bt", "where":
+		r.cmdBacktrace()
+		return false, nil
+	case "frame", "f":
+		return false, r.cmdFrame(rest)
+	case "info":
+		return false, r.cmdInfo(rest)
+	case "list", "l":
+		return false, r.cmdList(rest)
+	case "print", "p":
+		return false, r.cmdEval(rest, false)
+	case "duel", "dl":
+		switch rest {
+		case "":
+			// Like the original: bare "duel" prints a syntax summary.
+			r.duelHelp()
+			return false, nil
+		case "clear":
+			r.Ses.ClearAliases()
+			r.printf("aliases cleared\n")
+			return false, nil
+		}
+		return false, r.cmdEval(rest, true)
+	case "set":
+		return false, r.cmdSet(rest)
+	case "counters":
+		c := r.Ses.Counters()
+		r.printf("lookups=%d applies=%d symops=%d values=%d memreads=%d\n",
+			c.Lookups, c.Applies, c.SymOps, c.Values, c.MemReads)
+		return false, nil
+	}
+	return false, fmt.Errorf("unknown command %q; try \"help\"", cmd)
+}
+
+func (r *REPL) help() {
+	r.printf(`Commands:
+  run [args]          run main() with the given argv
+  call f(a, b, ...)   call a target function
+  break <func|line>   set a breakpoint          delete [func|line]  clear
+  continue            resume                    step                one statement
+  backtrace           show frames               frame <n>           select frame
+  print <expr>        evaluate an expression (DUEL syntax)
+  duel <expr>         evaluate a DUEL expression, printing every value
+  duel clear          drop DUEL aliases and declared variables
+  watch <expr>        stop when a DUEL expression's values change
+  unwatch [id]        remove watchpoint(s)
+  assert <expr>       stop when a DUEL invariant produces a zero value
+  unassert [id]       remove assertion(s)
+  history / !n        show / re-run previous commands
+  break f if <expr>   conditional breakpoint (DUEL condition)
+  list [line]         show program source around a line
+  info <breakpoints|watchpoints|functions|globals|locals|types>
+  set <backend push|machine|chan | symbolic on|off | cycledetect on|off
+       | trace on|off>   (trace logs the paper-style eval walkthrough)
+  counters            evaluation statistics     quit
+`)
+}
+
+// duelHelp prints the operator summary the bare "duel" command shows,
+// like the original implementation's self-help.
+func (r *REPL) duelHelp() {
+	r.printf(`DUEL - a very high-level debugging language (Golan & Hanson, USENIX '93)
+Examples:
+  duel x[..100] >? 0                      positive elements of x, with indices
+  duel x[1..4,8,12..50] >? 5 <? 10        search several index ranges
+  duel (hash[..1024] !=? 0)->scope >? 5   deep scopes in a hash table
+  duel hash[1,9]->(scope,name)            several fields at once
+  duel head-->next->value                 walk a linked list
+  duel root-->(left,right)->key           binary tree in preorder
+  duel L-->next->(value ==? next-->next->value)   duplicated value fields
+  duel #/(head-->next)                    count the nodes
+  duel argv[0..]@0                        the strings in argv
+  duel x := e => ...                      alias x to each value of e
+  duel int i; for (i = 0; i < n; i++) ... C code works too
+Operators: a..b  ..n  n..  e1,e2  >? <? ==? !=? >=? <=?  .  ->  _  -->  -->>
+           [[i]]  e#i  e@stop  #/ +/ &&/ ||/  :=  =>  {v}  ;  frame(i)
+See docs/LANGUAGE.md for the full reference.
+`)
+}
+
+// firstStmtLine finds the first executable (non-block) statement of s.
+func firstStmtLine(s cparse.Stmt) int {
+	for {
+		b, ok := s.(*cparse.Block)
+		if !ok || len(b.Stmts) == 0 {
+			return s.StmtLine()
+		}
+		s = b.Stmts[0]
+	}
+}
+
+// hook implements the statement hook: breakpoints and stepping. Blocks are
+// containers, not executable statements, so they never trigger a stop.
+func (r *REPL) hook(fn *cparse.FuncDef, line int, isBlock bool) error {
+	if isBlock {
+		return nil
+	}
+	why := ""
+	stop := r.stepping
+	switch {
+	case stop:
+	case r.lineBps[line]:
+		if c := r.lineConds[line]; c == nil || r.condTrue(c) {
+			stop = true
+		}
+	case r.funcBps[fn.Name] && fn.Body != nil && line == firstStmtLine(fn.Body):
+		if c := r.funcConds[fn.Name]; c == nil || r.condTrue(c) {
+			stop = true
+		}
+	}
+	if !stop && len(r.asserts) > 0 {
+		if a := r.checkAsserts(); a != nil {
+			stop = true
+			why = fmt.Sprintf(" (assertion %d)", a.id)
+		}
+	}
+	if !stop && len(r.watches) > 0 {
+		if w := r.checkWatches(); w != nil {
+			stop = true
+			why = fmt.Sprintf(" (watchpoint %d)", w.id)
+		}
+	}
+	if !stop {
+		return nil
+	}
+	r.stepping = false
+	r.lastStopLine = line
+	r.printf("stopped in %s at line %d%s\n", fn.Name, line, why)
+	// Nested prompt while the target is suspended.
+	for {
+		r.printf("%s", r.prompt)
+		if !r.in.Scan() {
+			return errQuit
+		}
+		resume, err := r.Command(strings.TrimSpace(r.in.Text()))
+		if err != nil {
+			if errors.Is(err, errQuit) {
+				return err
+			}
+			r.printf("%v\n", err)
+			continue
+		}
+		if resume {
+			r.Dbg.SelectedFrame = 0
+			return nil
+		}
+	}
+}
+
+func (r *REPL) cmdRun(argv []string) error {
+	r.running = true
+	defer func() { r.running = false; r.Dbg.SelectedFrame = 0 }()
+	code, err := r.Interp.RunMain(append([]string{"a.out"}, argv...))
+	if err != nil {
+		if errors.Is(err, errQuit) {
+			r.printf("run aborted\n")
+			return nil
+		}
+		return err
+	}
+	r.printf("program exited with code %d\n", code)
+	return nil
+}
+
+// cmdCall calls a target function with constant int arguments.
+func (r *REPL) cmdCall(expr string) error {
+	r.running = true
+	defer func() { r.running = false; r.Dbg.SelectedFrame = 0 }()
+	return r.cmdEval(expr, true)
+}
+
+func (r *REPL) cmdBreak(arg string) error {
+	if arg == "" {
+		return fmt.Errorf("usage: break <function|line> [if <duel-expr>]")
+	}
+	// "break <loc> if <duel-expr>" sets a conditional breakpoint.
+	loc, condSrc, hasCond := strings.Cut(arg, " if ")
+	loc = strings.TrimSpace(loc)
+	var cond *condBreak
+	if hasCond {
+		var err error
+		if cond, err = r.compileCond(strings.TrimSpace(condSrc)); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if cond != nil {
+		suffix = " if " + cond.src
+	}
+	if n, err := strconv.Atoi(loc); err == nil {
+		r.lineBps[n] = true
+		if cond != nil {
+			r.lineConds[n] = cond
+		}
+		r.printf("breakpoint at line %d%s\n", n, suffix)
+		return nil
+	}
+	if _, ok := r.Dbg.P.Function(loc); !ok {
+		return fmt.Errorf("no function %q", loc)
+	}
+	r.funcBps[loc] = true
+	if cond != nil {
+		r.funcConds[loc] = cond
+	}
+	r.printf("breakpoint at %s%s\n", loc, suffix)
+	return nil
+}
+
+func (r *REPL) cmdDelete(arg string) error {
+	if arg == "" {
+		r.funcBps = map[string]bool{}
+		r.lineBps = map[int]bool{}
+		r.printf("all breakpoints deleted\n")
+		return nil
+	}
+	if n, err := strconv.Atoi(arg); err == nil {
+		delete(r.lineBps, n)
+		delete(r.lineConds, n)
+		return nil
+	}
+	delete(r.funcBps, arg)
+	delete(r.funcConds, arg)
+	return nil
+}
+
+func (r *REPL) cmdBacktrace() {
+	p := r.Dbg.P
+	if p.NumFrames() == 0 {
+		r.printf("no stack\n")
+		return
+	}
+	for i := 0; i < p.NumFrames(); i++ {
+		fr, _ := p.FrameAt(i)
+		mark := " "
+		if i == r.Dbg.SelectedFrame {
+			mark = "*"
+		}
+		r.printf("%s#%d  %s at line %d\n", mark, i, fr.Func.Name, fr.Line)
+	}
+}
+
+func (r *REPL) cmdFrame(arg string) error {
+	n, err := strconv.Atoi(arg)
+	if err != nil {
+		return fmt.Errorf("usage: frame <n>")
+	}
+	if _, ok := r.Dbg.P.FrameAt(n); !ok {
+		return fmt.Errorf("no frame %d", n)
+	}
+	r.Dbg.SelectedFrame = n
+	fr, _ := r.Dbg.P.FrameAt(n)
+	r.printf("#%d  %s at line %d\n", n, fr.Func.Name, fr.Line)
+	return nil
+}
+
+func (r *REPL) cmdInfo(what string) error {
+	p := r.Dbg.P
+	switch what {
+	case "breakpoints", "break", "b":
+		if len(r.funcBps) == 0 && len(r.lineBps) == 0 {
+			r.printf("no breakpoints\n")
+			return nil
+		}
+		var names []string
+		for n := range r.funcBps {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			r.printf("function %s\n", n)
+		}
+		var lines []int
+		for l := range r.lineBps {
+			lines = append(lines, l)
+		}
+		sort.Ints(lines)
+		for _, l := range lines {
+			r.printf("line %d\n", l)
+		}
+	case "functions", "func":
+		for _, n := range p.Functions() {
+			f, _ := p.Function(n)
+			r.printf("%s\n", ctype.FormatDecl(f.Type, n))
+		}
+	case "globals", "variables", "var":
+		for _, n := range p.Globals() {
+			v, _ := p.Global(n)
+			r.printf("%s  (at 0x%x)\n", ctype.FormatDecl(v.Type, n), v.Addr)
+		}
+	case "locals":
+		fr, ok := p.FrameAt(r.Dbg.SelectedFrame)
+		if !ok {
+			return fmt.Errorf("no stack")
+		}
+		for _, v := range fr.Locals {
+			r.printf("%s  (at 0x%x)\n", ctype.FormatDecl(v.Type, v.Name), v.Addr)
+		}
+	case "watchpoints", "watch":
+		if len(r.watches) == 0 {
+			r.printf("no watchpoints\n")
+			return nil
+		}
+		for _, wp := range r.watches {
+			r.printf("%d: %s = %s\n", wp.id, wp.src, joinOrNone(wp.last))
+		}
+	case "types":
+		p := r.Dbg.P
+		for _, tag := range p.StructTags(false) {
+			if s, ok := p.Struct(tag, false); ok && !s.Incomplete {
+				r.printf("struct %s  (%d bytes, %d members)\n", tag, s.Size(), len(s.Fields))
+			} else {
+				r.printf("struct %s  (incomplete)\n", tag)
+			}
+		}
+		for _, tag := range p.StructTags(true) {
+			r.printf("union %s\n", tag)
+		}
+		for _, tag := range p.EnumTags() {
+			r.printf("enum %s\n", tag)
+		}
+		for _, n := range p.TypedefNames() {
+			if td, ok := p.Typedef(n); ok {
+				r.printf("typedef %s\n", ctype.FormatDecl(td.Under, n))
+			}
+		}
+	default:
+		return fmt.Errorf("usage: info <breakpoints|functions|globals|locals>")
+	}
+	return nil
+}
+
+// cmdEval evaluates an expression. print and duel share the evaluator; duel
+// is the paper's command and drives all values, print limits the output like
+// gdb's print (but still shows every value of a generator).
+func (r *REPL) cmdEval(src string, isDuel bool) error {
+	if strings.TrimSpace(src) == "" {
+		return fmt.Errorf("usage: %s <expression>", map[bool]string{true: "duel", false: "print"}[isDuel])
+	}
+	count := 0
+	err := r.Ses.EvalFunc(src, func(res duel.Result) error {
+		count++
+		r.printf("%s\n", res.Line())
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// A trailing ';' means "side effects only" — stay silent, like the
+	// paper's hash[0..1023]->scope = 0 ; example.
+	if count == 0 && isDuel && !strings.HasSuffix(strings.TrimSpace(src), ";") {
+		r.printf("(no values)\n")
+	}
+	return nil
+}
+
+func (r *REPL) cmdSet(rest string) error {
+	key, val, _ := strings.Cut(rest, " ")
+	val = strings.TrimSpace(val)
+	switch key {
+	case "backend":
+		opts := duel.DefaultOptions()
+		opts.Backend = val
+		opts.Eval = r.Ses.Env.Opts
+		ses, err := duel.NewSession(r.Dbg, opts)
+		if err != nil {
+			return err
+		}
+		r.Ses = ses
+		r.printf("backend = %s\n", val)
+	case "symbolic":
+		on := val == "on"
+		r.Ses.Env.Opts.Symbolic = on
+		r.Ses.Printer.Symbolic = on
+		r.printf("symbolic = %v\n", on)
+	case "cycledetect":
+		r.Ses.Env.Opts.CycleDetect = val == "on"
+		r.printf("cycledetect = %v\n", val == "on")
+	case "trace":
+		// Tracing shows the paper's per-node evaluation walkthrough;
+		// it is implemented by the machine (state/NOVALUE) backend.
+		if val == "on" {
+			if r.Ses.Backend.Name() != "machine" {
+				if err := r.cmdSet("backend machine"); err != nil {
+					return err
+				}
+			}
+			r.Ses.Env.Opts.Trace = r.out
+		} else {
+			r.Ses.Env.Opts.Trace = nil
+		}
+		r.printf("trace = %v\n", val == "on")
+	default:
+		return fmt.Errorf("usage: set <backend|symbolic|cycledetect> <value>")
+	}
+	return nil
+}
+
+// cmdList shows source around the given line (default: the current stop).
+func (r *REPL) cmdList(arg string) error {
+	center := r.lastStopLine
+	if arg != "" {
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return fmt.Errorf("usage: list [line]")
+		}
+		center = n
+	}
+	if center == 0 {
+		center = 1
+	}
+	lo := center - 4
+	if lo < 1 {
+		lo = 1
+	}
+	hi := lo + 9
+	if hi > len(r.srcLines) {
+		hi = len(r.srcLines)
+	}
+	for i := lo; i <= hi; i++ {
+		mark := "   "
+		if i == r.lastStopLine && r.lastStopLine != 0 {
+			mark = "=> "
+		}
+		r.printf("%s%4d  %s\n", mark, i, r.srcLines[i-1])
+	}
+	return nil
+}

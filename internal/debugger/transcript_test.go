@@ -1,0 +1,106 @@
+package debugger
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"duel/internal/ctype"
+	"duel/internal/target"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden transcripts")
+
+// TestGoldenTranscript drives one long session — load, breakpoints,
+// stepping, frames, DUEL queries, mutation, watchpoints, assertions,
+// history — and compares the complete transcript against a golden file.
+// Regenerate with: go test ./internal/debugger -run Golden -update
+func TestGoldenTranscript(t *testing.T) {
+	program := `struct symbol {
+	char *name;
+	int scope;
+	struct symbol *next;
+};
+
+struct symbol *hash[64];
+
+void add(int b, char *name, int scope) {
+	struct symbol *s;
+	s = (struct symbol *) malloc(sizeof(struct symbol));
+	s->name = name;
+	s->scope = scope;
+	s->next = hash[b];
+	hash[b] = s;
+}
+
+int count() {
+	int n = 0;
+	int i;
+	for (i = 0; i < 64; i = i + 1) {
+		struct symbol *p;
+		p = hash[i];
+		while (p) { n = n + 1; p = p->next; }
+	}
+	return n;
+}
+
+int main() {
+	add(3, "alpha", 1);
+	add(3, "beta", 2);
+	add(9, "gamma", 7);
+	add(41, "delta", 9);
+	return count();
+}
+`
+	script := []string{
+		"duel",
+		"break count",
+		"break add if scope > 8",
+		"run",
+		"bt",
+		"duel name",
+		"duel scope",
+		"continue",
+		"list",
+		"info locals",
+		"duel #/(hash[..64] !=? 0)",
+		"duel (hash[..64] !=? 0)->(name,scope)",
+		"duel hash[3]-->next->name",
+		"step",
+		"step",
+		"continue",
+		"delete",
+		"duel hash[..64]-->next->scope = 0 ;",
+		"print count()",
+		"duel total := #/(hash[..64]-->next); {total} * 10",
+		"info types",
+		"history",
+		"quit",
+	}
+	var out strings.Builder
+	in := strings.NewReader(strings.Join(script, "\n") + "\n")
+	cfg := target.Config{Model: ctype.ILP32, DataSize: 1 << 20, HeapSize: 1 << 20, StackSize: 1 << 18}
+	r, err := NewREPL(program, in, &out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Loop(); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	golden := filepath.Join("testdata", "transcript.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("transcript drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,160 @@
+package debugger
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"duel"
+	"duel/internal/duel/ast"
+)
+
+// The paper closes by noting that "Duel would also be useful in other
+// traditional debugging facilities, e.g., watchpoints and conditional
+// breakpoints" — and that its evaluator would need to be faster for that.
+// This file implements both facilities over the DUEL engine:
+//
+//	break total if s > 10        stop in total only when the DUEL
+//	                             condition produces a non-zero value
+//	watch head-->next->v         stop whenever the value sequence of a
+//	                             DUEL expression changes
+//
+// Watch expressions re-evaluate after every statement, which is exactly the
+// load the paper worried about; BenchmarkWatchOverhead quantifies it.
+
+// condBreak is a breakpoint condition: a compiled DUEL expression.
+type condBreak struct {
+	src  string
+	node *ast.Node
+}
+
+// watchpoint re-evaluates a DUEL expression after every statement and stops
+// when its produced value sequence changes.
+type watchpoint struct {
+	id   int
+	src  string
+	node *ast.Node
+	last []string
+	// armed is false until the first evaluation establishes a baseline.
+	armed bool
+}
+
+// compileCond parses a DUEL condition once.
+func (r *REPL) compileCond(src string) (*condBreak, error) {
+	n, err := r.Ses.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("bad condition %q: %w", src, err)
+	}
+	return &condBreak{src: src, node: n}, nil
+}
+
+// condTrue evaluates a breakpoint condition: any non-zero value satisfies
+// it. Evaluation errors (e.g. a local not yet in scope) count as false, like
+// gdb's behaviour for unevaluable conditions, but are reported once.
+func (r *REPL) condTrue(c *condBreak) bool {
+	truth := false
+	err := r.Ses.EvalNode(c.node, func(res duel.Result) error {
+		if res.Text != "0" && res.Text != "0x0" && res.Text != "'\\0'" {
+			truth = true
+		}
+		return nil
+	})
+	if err != nil {
+		if !r.condErrors[c.src] {
+			r.condErrors[c.src] = true
+			r.printf("breakpoint condition %q: %v (treated as false)\n", c.src, err)
+		}
+		return false
+	}
+	return truth
+}
+
+// cmdWatch adds a watchpoint.
+func (r *REPL) cmdWatch(src string) error {
+	if strings.TrimSpace(src) == "" {
+		return fmt.Errorf("usage: watch <duel-expression>")
+	}
+	n, err := r.Ses.Parse(src)
+	if err != nil {
+		return err
+	}
+	r.watchSeq++
+	w := &watchpoint{id: r.watchSeq, src: src, node: n}
+	r.watches = append(r.watches, w)
+	r.printf("watchpoint %d: %s\n", w.id, src)
+	return nil
+}
+
+// cmdUnwatch removes a watchpoint by id (or all with no argument).
+func (r *REPL) cmdUnwatch(arg string) error {
+	if arg == "" {
+		r.watches = nil
+		r.printf("all watchpoints deleted\n")
+		return nil
+	}
+	id, err := strconv.Atoi(arg)
+	if err != nil {
+		return fmt.Errorf("usage: unwatch [id]")
+	}
+	for i, w := range r.watches {
+		if w.id == id {
+			r.watches = append(r.watches[:i], r.watches[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("no watchpoint %d", id)
+}
+
+// evalWatch returns the current value lines of a watch expression.
+// Evaluation errors yield a one-line pseudo-value, so "becomes unevaluable"
+// also triggers the watchpoint.
+func (r *REPL) evalWatch(w *watchpoint) []string {
+	var vals []string
+	err := r.Ses.EvalNode(w.node, func(res duel.Result) error {
+		vals = append(vals, res.Line())
+		return nil
+	})
+	if err != nil {
+		return []string{"<error: " + err.Error() + ">"}
+	}
+	return vals
+}
+
+// checkWatches reports the first watchpoint whose value sequence changed.
+func (r *REPL) checkWatches() *watchpoint {
+	for _, w := range r.watches {
+		cur := r.evalWatch(w)
+		if !w.armed {
+			w.armed = true
+			w.last = cur
+			continue
+		}
+		if !eqStrings(cur, w.last) {
+			old := w.last
+			w.last = cur
+			r.printf("watchpoint %d: %s\n  old: %s\n  new: %s\n",
+				w.id, w.src, joinOrNone(old), joinOrNone(cur))
+			return w
+		}
+	}
+	return nil
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func joinOrNone(s []string) string {
+	if len(s) == 0 {
+		return "(no values)"
+	}
+	return strings.Join(s, " | ")
+}

@@ -1,0 +1,346 @@
+// Package ast defines the abstract syntax tree for DUEL expressions.
+//
+// The node vocabulary mirrors the paper's operator set: every node has an op
+// and a kids array, leaves carry constants or names, and the whole tree can
+// be printed in (and parsed from) the paper's LISP-like notation, e.g.
+//
+//	(plus (multiply (name "a") (constant 5)) (indirect (name "b")))
+//
+// which the tests use as a compact golden format for parser output.
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"duel/internal/ctype"
+	"duel/internal/duel/lexer"
+)
+
+// Op identifies a node's operator.
+type Op int
+
+// The operator vocabulary. Names follow the paper where the paper names an
+// operator (to, alternate, ifgt, select, with, dfs, imply, sequence, while,
+// if, define); C operators use their usual names.
+const (
+	OpInvalid Op = iota
+
+	// Leaves.
+	OpConst  // integer/char constant: Int/Unsigned/Long + Text
+	OpFConst // floating constant: Float + Text
+	OpStr    // string literal: Str
+	OpName   // identifier (including "_")
+
+	// C unary operators.
+	OpNeg      // -e
+	OpPos      // +e
+	OpNot      // !e
+	OpBitNot   // ~e
+	OpIndirect // *e
+	OpAddrOf   // &e
+	OpPreInc   // ++e
+	OpPreDec   // --e
+	OpPostInc  // e++
+	OpPostDec  // e--
+	OpCast     // (Type)e
+	OpSizeofE  // sizeof e
+	OpSizeofT  // sizeof(Type)
+
+	// C binary operators.
+	OpPlus     // e+e
+	OpMinus    // e-e
+	OpMultiply // e*e
+	OpDivide   // e/e
+	OpModulo   // e%e
+	OpShl      // e<<e
+	OpShr      // e>>e
+	OpLt       // e<e
+	OpGt       // e>e
+	OpLe       // e<=e
+	OpGe       // e>=e
+	OpEq       // e==e
+	OpNe       // e!=e
+	OpBitAnd   // e&e
+	OpBitXor   // e^e
+	OpBitOr    // e|e
+	OpAndAnd   // e&&e (generator semantics per the paper)
+	OpOrOr     // e||e
+	OpIndex    // e[e]
+	OpCall     // e(args...)
+	OpCond     // e?e:e (same generator semantics as if/else)
+
+	// Assignment.
+	OpAssign    // =
+	OpAddAssign // +=
+	OpSubAssign // -=
+	OpMulAssign // *=
+	OpDivAssign // /=
+	OpModAssign // %=
+	OpAndAssign // &=
+	OpOrAssign  // |=
+	OpXorAssign // ^=
+	OpShlAssign // <<=
+	OpShrAssign // >>=
+
+	// DUEL generators and operators.
+	OpTo        // e..e
+	OpToOpen    // e.. (unbounded)
+	OpToPrefix  // ..e  (0..e-1)
+	OpAlternate // e,e
+	OpIfLt      // e<?e
+	OpIfGt      // e>?e
+	OpIfLe      // e<=?e
+	OpIfGe      // e>=?e
+	OpIfEq      // e==?e
+	OpIfNe      // e!=?e
+	OpSelect    // e[[e]]
+	OpWithDot   // e.e   (with; field form)
+	OpWithArrow // e->e  (with through pointer)
+	OpDfs       // e-->e
+	OpBfs       // e-->>e (extension; the paper mentions BFS variants)
+	OpImply     // e=>e
+	OpSequence  // e;e
+	OpDiscard   // e;  (trailing semicolon: side effects only)
+	OpIf        // if (e) e [else e]
+	OpWhile     // while (e) e
+	OpFor       // for (e;e;e) e
+	OpDefine    // name := e
+	OpIndexOf   // e#name (alias the iteration index)
+	OpUntil     // e@e
+	OpCount     // #/e
+	OpSum       // +/e
+	OpAll       // &&/e
+	OpAny       // ||/e
+	OpCurly     // {e} display override
+	OpDecl      // DUEL declaration of one variable: Name, Type
+	OpGroup     // parenthesized expression (kept for symbolic display)
+	OpFrame     // frame(e): open the scope of stack frame e (extension)
+	OpNothing   // empty expression (e.g. omitted for clauses)
+)
+
+var opNames = map[Op]string{
+	OpConst: "constant", OpFConst: "fconstant", OpStr: "string", OpName: "name",
+	OpNeg: "negate", OpPos: "plusof", OpNot: "not", OpBitNot: "complement",
+	OpIndirect: "indirect", OpAddrOf: "addr", OpPreInc: "preinc", OpPreDec: "predec",
+	OpPostInc: "postinc", OpPostDec: "postdec", OpCast: "cast",
+	OpSizeofE: "sizeofexpr", OpSizeofT: "sizeoftype",
+	OpPlus: "plus", OpMinus: "minus", OpMultiply: "multiply", OpDivide: "divide",
+	OpModulo: "modulo", OpShl: "shl", OpShr: "shr",
+	OpLt: "lt", OpGt: "gt", OpLe: "le", OpGe: "ge", OpEq: "eq", OpNe: "ne",
+	OpBitAnd: "bitand", OpBitXor: "bitxor", OpBitOr: "bitor",
+	OpAndAnd: "andand", OpOrOr: "oror", OpIndex: "index", OpCall: "call", OpCond: "cond",
+	OpAssign: "assign", OpAddAssign: "addassign", OpSubAssign: "subassign",
+	OpMulAssign: "mulassign", OpDivAssign: "divassign", OpModAssign: "modassign",
+	OpAndAssign: "andassign", OpOrAssign: "orassign", OpXorAssign: "xorassign",
+	OpShlAssign: "shlassign", OpShrAssign: "shrassign",
+	OpTo: "to", OpToOpen: "toopen", OpToPrefix: "toprefix", OpAlternate: "alternate",
+	OpIfLt: "iflt", OpIfGt: "ifgt", OpIfLe: "ifle", OpIfGe: "ifge",
+	OpIfEq: "ifeq", OpIfNe: "ifne",
+	OpSelect: "select", OpWithDot: "with", OpWithArrow: "witharrow",
+	OpDfs: "dfs", OpBfs: "bfs", OpImply: "imply", OpSequence: "sequence",
+	OpDiscard: "discard", OpIf: "if", OpWhile: "while", OpFor: "for",
+	OpDefine: "define", OpIndexOf: "indexof", OpUntil: "until",
+	OpCount: "count", OpSum: "sum", OpAll: "all", OpAny: "any",
+	OpCurly: "curly", OpDecl: "decl", OpGroup: "group", OpFrame: "frame",
+	OpNothing: "nothing",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Symbol returns the concrete operator spelling used in symbolic output for
+// binary and unary operators; it returns "" for structured operators.
+func (o Op) Symbol() string {
+	switch o {
+	case OpNeg:
+		return "-"
+	case OpPos:
+		return "+"
+	case OpNot:
+		return "!"
+	case OpBitNot:
+		return "~"
+	case OpIndirect:
+		return "*"
+	case OpAddrOf:
+		return "&"
+	case OpPlus, OpAddAssign:
+		if o == OpAddAssign {
+			return "+="
+		}
+		return "+"
+	case OpMinus:
+		return "-"
+	case OpMultiply:
+		return "*"
+	case OpDivide:
+		return "/"
+	case OpModulo:
+		return "%"
+	case OpShl:
+		return "<<"
+	case OpShr:
+		return ">>"
+	case OpLt:
+		return "<"
+	case OpGt:
+		return ">"
+	case OpLe:
+		return "<="
+	case OpGe:
+		return ">="
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpBitAnd:
+		return "&"
+	case OpBitXor:
+		return "^"
+	case OpBitOr:
+		return "|"
+	case OpAndAnd:
+		return "&&"
+	case OpOrOr:
+		return "||"
+	case OpAssign:
+		return "="
+	case OpSubAssign:
+		return "-="
+	case OpMulAssign:
+		return "*="
+	case OpDivAssign:
+		return "/="
+	case OpModAssign:
+		return "%="
+	case OpAndAssign:
+		return "&="
+	case OpOrAssign:
+		return "|="
+	case OpXorAssign:
+		return "^="
+	case OpShlAssign:
+		return "<<="
+	case OpShrAssign:
+		return ">>="
+	case OpIfLt:
+		return "<?"
+	case OpIfGt:
+		return ">?"
+	case OpIfLe:
+		return "<=?"
+	case OpIfGe:
+		return ">=?"
+	case OpIfEq:
+		return "==?"
+	case OpIfNe:
+		return "!=?"
+	case OpTo:
+		return ".."
+	case OpUntil:
+		return "@"
+	}
+	return ""
+}
+
+// Node is one AST node. Kids holds the operand nodes; leaf data lives in the
+// remaining fields, used according to Op.
+type Node struct {
+	Op   Op
+	Kids []*Node
+
+	Name     string // OpName, OpDefine, OpIndexOf, OpWith field names, OpDecl
+	Int      uint64 // OpConst
+	Float    float64
+	Unsigned bool
+	Long     bool
+	Str      string     // OpStr
+	Type     ctype.Type // OpCast, OpSizeofT, OpDecl
+	Text     string     // original spelling of constants, for symbolic display
+
+	Pos lexer.Pos
+}
+
+// New builds a Node with the given kids.
+func New(op Op, kids ...*Node) *Node { return &Node{Op: op, Kids: kids} }
+
+// Name builds a name leaf.
+func NewName(name string) *Node { return &Node{Op: OpName, Name: name} }
+
+// NewInt builds an integer constant leaf.
+func NewInt(v int64) *Node {
+	return &Node{Op: OpConst, Int: uint64(v), Text: strconv.FormatInt(v, 10)}
+}
+
+// Sexp renders the tree in the paper's LISP-like notation.
+func (n *Node) Sexp() string {
+	var sb strings.Builder
+	n.sexp(&sb)
+	return sb.String()
+}
+
+func (n *Node) sexp(sb *strings.Builder) {
+	if n == nil {
+		sb.WriteString("()")
+		return
+	}
+	switch n.Op {
+	case OpConst:
+		if n.Unsigned {
+			fmt.Fprintf(sb, "(constant %du)", n.Int)
+		} else {
+			fmt.Fprintf(sb, "(constant %d)", int64(n.Int))
+		}
+		return
+	case OpFConst:
+		fmt.Fprintf(sb, "(fconstant %g)", n.Float)
+		return
+	case OpStr:
+		fmt.Fprintf(sb, "(string %q)", n.Str)
+		return
+	case OpName:
+		fmt.Fprintf(sb, "(name %q)", n.Name)
+		return
+	case OpNothing:
+		sb.WriteString("(nothing)")
+		return
+	}
+	sb.WriteByte('(')
+	sb.WriteString(n.Op.String())
+	switch n.Op {
+	case OpDefine, OpIndexOf:
+		fmt.Fprintf(sb, " %q", n.Name)
+	case OpCast, OpSizeofT:
+		fmt.Fprintf(sb, " %q", n.Type.String())
+	case OpDecl:
+		fmt.Fprintf(sb, " %q %q", ctype.FormatDecl(n.Type, n.Name), n.Name)
+	}
+	for _, k := range n.Kids {
+		sb.WriteByte(' ')
+		k.sexp(sb)
+	}
+	sb.WriteByte(')')
+}
+
+// Walk calls f for n and every descendant, stopping if f returns false.
+func (n *Node) Walk(f func(*Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	for _, k := range n.Kids {
+		k.Walk(f)
+	}
+}
+
+// Count reports the number of nodes in the tree.
+func (n *Node) Count() int {
+	c := 0
+	n.Walk(func(*Node) bool { c++; return true })
+	return c
+}

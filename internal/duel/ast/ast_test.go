@@ -1,0 +1,115 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSexpLeaves(t *testing.T) {
+	cases := []struct {
+		n    *Node
+		want string
+	}{
+		{NewInt(5), "(constant 5)"},
+		{NewInt(-3), "(constant -3)"},
+		{&Node{Op: OpConst, Int: 7, Unsigned: true}, "(constant 7u)"},
+		{&Node{Op: OpFConst, Float: 2.5}, "(fconstant 2.5)"},
+		{&Node{Op: OpStr, Str: "hi\n"}, `(string "hi\n")`},
+		{NewName("x"), `(name "x")`},
+		{NewName("_"), `(name "_")`},
+		{&Node{Op: OpNothing}, "(nothing)"},
+	}
+	for _, c := range cases {
+		if got := c.n.Sexp(); got != c.want {
+			t.Errorf("Sexp = %s, want %s", got, c.want)
+		}
+	}
+}
+
+func TestSexpPaperExample(t *testing.T) {
+	// The paper's own notation for a*5 + *b.
+	n := New(OpPlus,
+		New(OpMultiply, NewName("a"), NewInt(5)),
+		New(OpIndirect, NewName("b")),
+	)
+	want := `(plus (multiply (name "a") (constant 5)) (indirect (name "b")))`
+	if got := n.Sexp(); got != want {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestSexpStructured(t *testing.T) {
+	n := &Node{Op: OpDefine, Name: "i", Kids: []*Node{New(OpTo, NewInt(1), NewInt(3))}}
+	if got := n.Sexp(); got != `(define "i" (to (constant 1) (constant 3)))` {
+		t.Errorf("define sexp = %s", got)
+	}
+	idx := &Node{Op: OpIndexOf, Name: "j", Kids: []*Node{NewName("e")}}
+	if got := idx.Sexp(); got != `(indexof "j" (name "e"))` {
+		t.Errorf("indexof sexp = %s", got)
+	}
+}
+
+func TestWalkAndCount(t *testing.T) {
+	n := New(OpPlus, New(OpMultiply, NewName("a"), NewInt(5)), NewName("b"))
+	if got := n.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	var names []string
+	n.Walk(func(k *Node) bool {
+		if k.Op == OpName {
+			names = append(names, k.Name)
+		}
+		return true
+	})
+	if strings.Join(names, ",") != "a,b" {
+		t.Errorf("walk order: %v", names)
+	}
+	// Early termination.
+	visited := 0
+	n.Walk(func(k *Node) bool {
+		visited++
+		return false
+	})
+	if visited != 1 {
+		t.Errorf("walk didn't stop: %d", visited)
+	}
+	var nilNode *Node
+	nilNode.Walk(func(*Node) bool { t.Fatal("visited nil"); return true })
+}
+
+func TestOpStrings(t *testing.T) {
+	// Every operator must have a name (catches forgotten map entries).
+	for op := OpInvalid + 1; op <= OpNothing; op++ {
+		if strings.HasPrefix(op.String(), "Op(") {
+			t.Errorf("operator %d has no name", int(op))
+		}
+	}
+	if Op(9999).String() != "Op(9999)" {
+		t.Error("unknown op formatting")
+	}
+}
+
+func TestOpSymbols(t *testing.T) {
+	cases := map[Op]string{
+		OpPlus: "+", OpMinus: "-", OpMultiply: "*", OpDivide: "/",
+		OpModulo: "%", OpShl: "<<", OpShr: ">>",
+		OpLt: "<", OpGe: ">=", OpEq: "==", OpNe: "!=",
+		OpIfGt: ">?", OpIfLe: "<=?", OpIfEq: "==?", OpIfNe: "!=?",
+		OpBitAnd: "&", OpBitXor: "^", OpBitOr: "|",
+		OpAndAnd: "&&", OpOrOr: "||",
+		OpAssign: "=", OpAddAssign: "+=", OpShrAssign: ">>=",
+		OpNot: "!", OpBitNot: "~", OpIndirect: "*", OpAddrOf: "&",
+		OpTo: "..", OpUntil: "@",
+	}
+	for op, want := range cases {
+		if got := op.Symbol(); got != want {
+			t.Errorf("%s.Symbol() = %q, want %q", op, got, want)
+		}
+	}
+	// Structured operators have no spelling.
+	for _, op := range []Op{OpIf, OpDfs, OpSelect, OpWithArrow, OpCall} {
+		if op.Symbol() != "" {
+			t.Errorf("%s.Symbol() = %q, want empty", op, op.Symbol())
+		}
+	}
+}

@@ -1,0 +1,718 @@
+package parser
+
+import (
+	"duel/internal/ctype"
+	"duel/internal/duel/ast"
+	"duel/internal/duel/lexer"
+)
+
+// Exported token plumbing, used by the micro-C front end (internal/cparse)
+// which builds its program parser on top of this one.
+
+// Peek returns the current token without consuming it.
+func (p *Parser) Peek() lexer.Token { return p.peek() }
+
+// PeekAt returns the token i positions ahead (0 = current).
+func (p *Parser) PeekAt(i int) lexer.Token {
+	if p.pos+i < len(p.toks) {
+		return p.toks[p.pos+i]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+// Next consumes and returns the current token.
+func (p *Parser) Next() lexer.Token { return p.next() }
+
+// Expect consumes a token of kind k or fails.
+func (p *Parser) Expect(k lexer.Kind) error { return p.expect(k) }
+
+// ExpectKeyword consumes the given keyword or fails.
+func (p *Parser) ExpectKeyword(kw string) error { return p.expectKeyword(kw) }
+
+// Errf formats a parse error at pos.
+func (p *Parser) Errf(pos lexer.Pos, format string, args ...any) error {
+	return p.errf(pos, format, args...)
+}
+
+// ParseFullExpr parses an expression including alternation (',').
+func (p *Parser) ParseFullExpr() (*ast.Node, error) { return p.parseExpr(bpAlternate) }
+
+// ParseAssignExpr parses an expression stopping at ',' (for initializers and
+// argument-like contexts).
+func (p *Parser) ParseAssignExpr() (*ast.Node, error) { return p.parseExpr(bpImply) }
+
+// --- type detection ---
+
+var typeKeywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "signed": true, "unsigned": true,
+	"struct": true, "union": true, "enum": true, "const": true, "volatile": true,
+}
+
+// StartsType reports whether the token at lookahead index i begins a type
+// name (type keyword or known typedef name).
+func (p *Parser) startsTypeAt(i int) bool {
+	tok := p.PeekAt(i)
+	switch tok.Kind {
+	case lexer.Keyword:
+		return typeKeywords[tok.Text]
+	case lexer.Ident:
+		_, ok := p.env.LookupTypedef(tok.Text)
+		return ok
+	}
+	return false
+}
+
+// StartsType reports whether the current token begins a type name.
+func (p *Parser) StartsType() bool { return p.startsTypeAt(0) }
+
+// startsDecl reports whether the current position begins a declaration: a
+// type keyword, or a typedef name followed by something declarator-like.
+func (p *Parser) startsDecl() bool {
+	tok := p.peek()
+	switch tok.Kind {
+	case lexer.Keyword:
+		if tok.Text == "const" || tok.Text == "volatile" {
+			return true
+		}
+		return typeKeywords[tok.Text]
+	case lexer.Ident:
+		if _, ok := p.env.LookupTypedef(tok.Text); !ok {
+			return false
+		}
+		switch p.peek2().Kind {
+		case lexer.Ident, lexer.Star:
+			return true
+		}
+	}
+	return false
+}
+
+// StartsDecl reports whether the current position begins a declaration.
+func (p *Parser) StartsDecl() bool { return p.startsDecl() }
+
+// --- declaration specifiers ---
+
+// ParseDeclSpecs parses declaration specifiers (type keywords, struct/union/
+// enum references or inline definitions, typedef names) and returns the base
+// type. The isTypedef result reports a leading "typedef" storage class.
+func (p *Parser) ParseDeclSpecs() (base ctype.Type, isTypedef bool, err error) {
+	arch := p.env.Arch()
+	var (
+		nShort, nLong    int
+		signed, unsigned bool
+		baseKw           string
+		seenBase         bool
+	)
+	pos := p.peek().Pos
+	for {
+		tok := p.peek()
+		if tok.Kind == lexer.Keyword {
+			switch tok.Text {
+			case "const", "volatile", "static":
+				p.next()
+				continue
+			case "typedef":
+				p.next()
+				isTypedef = true
+				continue
+			case "short":
+				p.next()
+				nShort++
+				continue
+			case "long":
+				p.next()
+				nLong++
+				continue
+			case "signed":
+				p.next()
+				signed = true
+				continue
+			case "unsigned":
+				p.next()
+				unsigned = true
+				continue
+			case "void", "char", "int", "float", "double":
+				if seenBase {
+					return nil, false, p.errf(tok.Pos, "two base types in declaration specifiers")
+				}
+				p.next()
+				baseKw = tok.Text
+				seenBase = true
+				continue
+			case "struct", "union":
+				if seenBase || base != nil {
+					return nil, false, p.errf(tok.Pos, "two base types in declaration specifiers")
+				}
+				s, err := p.parseStructRef(tok.Text == "union")
+				if err != nil {
+					return nil, false, err
+				}
+				base = s
+				continue
+			case "enum":
+				if seenBase || base != nil {
+					return nil, false, p.errf(tok.Pos, "two base types in declaration specifiers")
+				}
+				e, err := p.parseEnumRef()
+				if err != nil {
+					return nil, false, err
+				}
+				base = e
+				continue
+			}
+		}
+		if tok.Kind == lexer.Ident && !seenBase && base == nil && nShort == 0 && nLong == 0 && !signed && !unsigned {
+			if td, ok := p.env.LookupTypedef(tok.Text); ok {
+				p.next()
+				base = td
+				continue
+			}
+		}
+		break
+	}
+	if base != nil {
+		return base, isTypedef, nil
+	}
+	if !seenBase && nShort == 0 && nLong == 0 && !signed && !unsigned {
+		return nil, false, p.errf(pos, "expected type specifiers")
+	}
+	switch baseKw {
+	case "void":
+		return arch.Void, isTypedef, nil
+	case "float":
+		return arch.Float, isTypedef, nil
+	case "double":
+		if nLong > 0 {
+			return arch.Double, isTypedef, nil // long double == double here
+		}
+		return arch.Double, isTypedef, nil
+	case "char":
+		switch {
+		case unsigned:
+			return arch.UChar, isTypedef, nil
+		case signed:
+			return arch.SChar, isTypedef, nil
+		default:
+			return arch.Char, isTypedef, nil
+		}
+	default: // "int" or bare modifiers
+		switch {
+		case nShort > 0 && unsigned:
+			return arch.UShort, isTypedef, nil
+		case nShort > 0:
+			return arch.Short, isTypedef, nil
+		case nLong >= 2 && unsigned:
+			return arch.ULongLong, isTypedef, nil
+		case nLong >= 2:
+			return arch.LongLong, isTypedef, nil
+		case nLong == 1 && unsigned:
+			return arch.ULong, isTypedef, nil
+		case nLong == 1:
+			return arch.Long, isTypedef, nil
+		case unsigned:
+			return arch.UInt, isTypedef, nil
+		default:
+			return arch.Int, isTypedef, nil
+		}
+	}
+}
+
+// parseStructRef parses "struct TAG", "struct TAG { ... }" or
+// "struct { ... }" after the struct/union keyword.
+func (p *Parser) parseStructRef(union bool) (*ctype.Struct, error) {
+	kwPos := p.peek().Pos
+	p.next() // struct / union
+	tag := ""
+	if p.peek().Kind == lexer.Ident {
+		tag = p.next().Text
+	}
+	denv, canDecl := p.env.(DeclEnv)
+	if p.peek().Kind == lexer.LBrace {
+		if !canDecl {
+			return nil, p.errf(kwPos, "struct/union definitions are not allowed here")
+		}
+		var s *ctype.Struct
+		if tag != "" {
+			s = denv.DeclareStruct(tag, union)
+		} else {
+			s = p.env.Arch().NewStruct("", union)
+		}
+		fields, err := p.parseStructBody()
+		if err != nil {
+			return nil, err
+		}
+		if err := denv.CompleteStruct(s, fields); err != nil {
+			return nil, p.errf(kwPos, "%v", err)
+		}
+		return s, nil
+	}
+	if tag == "" {
+		return nil, p.errf(kwPos, "anonymous struct/union requires a definition")
+	}
+	if s, ok := p.env.LookupStruct(tag, union); ok {
+		return s, nil
+	}
+	if canDecl {
+		return denv.DeclareStruct(tag, union), nil
+	}
+	kw := "struct"
+	if union {
+		kw = "union"
+	}
+	return nil, p.errf(kwPos, "unknown %s tag %q", kw, tag)
+}
+
+// parseStructBody parses "{ field-decls }" into field specs.
+func (p *Parser) parseStructBody() ([]ctype.FieldSpec, error) {
+	if err := p.expect(lexer.LBrace); err != nil {
+		return nil, err
+	}
+	var fields []ctype.FieldSpec
+	for p.peek().Kind != lexer.RBrace {
+		base, isTypedef, err := p.ParseDeclSpecs()
+		if err != nil {
+			return nil, err
+		}
+		if isTypedef {
+			return nil, p.errf(p.peek().Pos, "typedef inside struct body")
+		}
+		for {
+			if p.peek().Kind == lexer.Colon {
+				// Unnamed bitfield, e.g. "int : 0;".
+				p.next()
+				w, err := p.parseConstIntExpr()
+				if err != nil {
+					return nil, err
+				}
+				bw := int(w)
+				if bw == 0 {
+					bw = -1 // ":0" forces unit alignment
+				}
+				fields = append(fields, ctype.FieldSpec{Type: base, BitWidth: bw})
+			} else {
+				t, name, err := p.ParseDeclarator(base, false)
+				if err != nil {
+					return nil, err
+				}
+				spec := ctype.FieldSpec{Name: name, Type: t}
+				if p.peek().Kind == lexer.Colon {
+					p.next()
+					w, err := p.parseConstIntExpr()
+					if err != nil {
+						return nil, err
+					}
+					spec.BitWidth = int(w)
+				}
+				fields = append(fields, spec)
+			}
+			if p.peek().Kind != lexer.Comma {
+				break
+			}
+			p.next()
+		}
+		if err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // '}'
+	return fields, nil
+}
+
+// parseEnumRef parses "enum TAG", "enum TAG { ... }" or "enum { ... }".
+func (p *Parser) parseEnumRef() (*ctype.Enum, error) {
+	kwPos := p.peek().Pos
+	p.next() // enum
+	tag := ""
+	if p.peek().Kind == lexer.Ident {
+		tag = p.next().Text
+	}
+	denv, canDecl := p.env.(DeclEnv)
+	if p.peek().Kind == lexer.LBrace {
+		if !canDecl {
+			return nil, p.errf(kwPos, "enum definitions are not allowed here")
+		}
+		p.next()
+		var consts []ctype.EnumConst
+		next := int64(0)
+		for p.peek().Kind != lexer.RBrace {
+			nameTok := p.peek()
+			if nameTok.Kind != lexer.Ident {
+				return nil, p.errf(nameTok.Pos, "expected enumerator name, found %s", nameTok)
+			}
+			p.next()
+			if p.peek().Kind == lexer.Assign {
+				p.next()
+				v, err := p.parseConstIntExpr()
+				if err != nil {
+					return nil, err
+				}
+				next = v
+			}
+			consts = append(consts, ctype.EnumConst{Name: nameTok.Text, Value: next})
+			next++
+			if p.peek().Kind == lexer.Comma {
+				p.next()
+			}
+		}
+		p.next() // '}'
+		e := p.env.Arch().EnumOf(tag, consts)
+		if err := denv.DefineEnum(e); err != nil {
+			return nil, p.errf(kwPos, "%v", err)
+		}
+		return e, nil
+	}
+	if tag == "" {
+		return nil, p.errf(kwPos, "anonymous enum requires a definition")
+	}
+	if e, ok := p.env.LookupEnum(tag); ok {
+		return e, nil
+	}
+	return nil, p.errf(kwPos, "unknown enum tag %q", tag)
+}
+
+// --- declarators ---
+
+// declParts is the parsed shape of a declarator before type construction.
+type declParts struct {
+	stars    int
+	inner    *declParts
+	name     string
+	suffixes []declSuffix
+	pos      lexer.Pos
+}
+
+type declSuffix struct {
+	isArray  bool
+	arrayN   int // -1 for []
+	params   []ctype.Type
+	names    []string
+	variadic bool
+}
+
+// ParseDeclarator parses a (possibly abstract) declarator and applies it to
+// base, returning the declared type and name. With abstract true, a missing
+// name is allowed (C type-names).
+func (p *Parser) ParseDeclarator(base ctype.Type, abstract bool) (ctype.Type, string, error) {
+	parts, err := p.parseDeclParts(abstract)
+	if err != nil {
+		return nil, "", err
+	}
+	t, name, err := p.buildDecl(parts, base)
+	if err != nil {
+		return nil, "", err
+	}
+	if !abstract && name == "" {
+		return nil, "", p.errf(parts.pos, "expected declarator name")
+	}
+	return t, name, nil
+}
+
+// ParseDeclaratorNamed parses a declarator and also returns parameter names
+// when the declarator is a function (for function definitions).
+func (p *Parser) ParseDeclaratorNamed(base ctype.Type) (t ctype.Type, name string, paramNames []string, err error) {
+	parts, err := p.parseDeclParts(false)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	t, name, err = p.buildDecl(parts, base)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	// Find the outermost function suffix's parameter names.
+	for q := parts; q != nil; q = q.inner {
+		for _, s := range q.suffixes {
+			if !s.isArray {
+				paramNames = s.names
+			}
+		}
+	}
+	return t, name, paramNames, nil
+}
+
+func (p *Parser) parseDeclParts(abstract bool) (*declParts, error) {
+	parts := &declParts{pos: p.peek().Pos}
+	for {
+		tok := p.peek()
+		if tok.Kind == lexer.Star {
+			p.next()
+			parts.stars++
+			continue
+		}
+		if tok.Kind == lexer.Keyword && (tok.Text == "const" || tok.Text == "volatile") {
+			p.next()
+			continue
+		}
+		break
+	}
+	switch p.peek().Kind {
+	case lexer.Ident:
+		parts.name = p.next().Text
+	case lexer.LParen:
+		// "(declarator)" vs a parameter list of an abstract function
+		// declarator: a following ')' or type-start means parameters.
+		if !p.startsTypeAt(1) && p.PeekAt(1).Kind != lexer.RParen {
+			p.next()
+			inner, err := p.parseDeclParts(abstract)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			parts.inner = inner
+		}
+	default:
+		if !abstract {
+			return nil, p.errf(p.peek().Pos, "expected declarator, found %s", p.peek())
+		}
+	}
+	for {
+		switch p.peek().Kind {
+		case lexer.LBracket:
+			p.next()
+			n := -1
+			if p.peek().Kind != lexer.RBracket {
+				v, err := p.parseConstIntExpr()
+				if err != nil {
+					return nil, err
+				}
+				if v < 0 {
+					return nil, p.errf(p.peek().Pos, "negative array size %d", v)
+				}
+				n = int(v)
+			}
+			if err := p.expect(lexer.RBracket); err != nil {
+				return nil, err
+			}
+			parts.suffixes = append(parts.suffixes, declSuffix{isArray: true, arrayN: n})
+		case lexer.LParen:
+			p.next()
+			suffix := declSuffix{}
+			if p.peek().Kind != lexer.RParen {
+				if p.peek().Is("void") && p.PeekAt(1).Kind == lexer.RParen {
+					p.next()
+				} else {
+					for {
+						if p.peek().Kind == lexer.Ellipsis {
+							p.next()
+							suffix.variadic = true
+							break
+						}
+						pbase, _, err := p.ParseDeclSpecs()
+						if err != nil {
+							return nil, err
+						}
+						pt, pname, err := p.ParseDeclarator(pbase, true)
+						if err != nil {
+							return nil, err
+						}
+						// Arrays decay to pointers in parameters.
+						if a, ok := ctype.Strip(pt).(*ctype.Array); ok {
+							pt = p.env.Arch().Ptr(a.Elem)
+						}
+						suffix.params = append(suffix.params, pt)
+						suffix.names = append(suffix.names, pname)
+						if p.peek().Kind != lexer.Comma {
+							break
+						}
+						p.next()
+					}
+				}
+			}
+			if err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			parts.suffixes = append(parts.suffixes, suffix)
+		default:
+			return parts, nil
+		}
+	}
+}
+
+func (p *Parser) buildDecl(parts *declParts, base ctype.Type) (ctype.Type, string, error) {
+	arch := p.env.Arch()
+	t := base
+	for i := 0; i < parts.stars; i++ {
+		t = arch.Ptr(t)
+	}
+	for i := len(parts.suffixes) - 1; i >= 0; i-- {
+		s := parts.suffixes[i]
+		if s.isArray {
+			t = arch.ArrayOf(t, s.arrayN)
+		} else {
+			t = arch.FuncOf(t, s.params, s.variadic)
+		}
+	}
+	if parts.inner != nil {
+		return p.buildDecl(parts.inner, t)
+	}
+	return t, parts.name, nil
+}
+
+// parseTypeName parses a C type-name (specifiers + abstract declarator).
+func (p *Parser) parseTypeName() (ctype.Type, error) {
+	base, isTypedef, err := p.ParseDeclSpecs()
+	if err != nil {
+		return nil, err
+	}
+	if isTypedef {
+		return nil, p.errf(p.peek().Pos, "typedef not allowed in type name")
+	}
+	t, _, err := p.ParseDeclarator(base, true)
+	return t, err
+}
+
+// ParseTypeName parses a C type-name; exported for tests and tools.
+func (p *Parser) ParseTypeName() (ctype.Type, error) { return p.parseTypeName() }
+
+// parseDuelDecls parses one DUEL declaration group "type d1, d2, ...;",
+// producing one OpDecl node per declarator; it consumes the ';'.
+func (p *Parser) parseDuelDecls() ([]*ast.Node, error) {
+	pos := p.peek().Pos
+	base, isTypedef, err := p.ParseDeclSpecs()
+	if err != nil {
+		return nil, err
+	}
+	if isTypedef {
+		return nil, p.errf(pos, "typedef is not allowed in DUEL declarations")
+	}
+	var decls []*ast.Node
+	for {
+		t, name, err := p.ParseDeclarator(base, false)
+		if err != nil {
+			return nil, err
+		}
+		d := &ast.Node{Op: ast.OpDecl, Name: name, Type: t, Pos: pos}
+		if p.peek().Kind == lexer.Assign {
+			p.next()
+			init, err := p.parseExpr(bpImply)
+			if err != nil {
+				return nil, err
+			}
+			d.Kids = []*ast.Node{init}
+		}
+		decls = append(decls, d)
+		if p.peek().Kind != lexer.Comma {
+			break
+		}
+		p.next()
+	}
+	if err := p.expect(lexer.Semi); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+// --- constant expressions ---
+
+// parseConstIntExpr parses and folds a constant integer expression (array
+// sizes, bitfield widths, enum values).
+func (p *Parser) parseConstIntExpr() (int64, error) {
+	pos := p.peek().Pos
+	n, err := p.parseExpr(bpCond)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := ConstFold(n)
+	if !ok {
+		return 0, p.errf(pos, "expected constant integer expression")
+	}
+	return v, nil
+}
+
+// ConstFold evaluates an integer constant expression tree, reporting
+// whether it is constant.
+func ConstFold(n *ast.Node) (int64, bool) {
+	switch n.Op {
+	case ast.OpConst:
+		return int64(n.Int), true
+	case ast.OpGroup, ast.OpPos:
+		return ConstFold(n.Kids[0])
+	case ast.OpNeg:
+		v, ok := ConstFold(n.Kids[0])
+		return -v, ok
+	case ast.OpBitNot:
+		v, ok := ConstFold(n.Kids[0])
+		return ^v, ok
+	case ast.OpNot:
+		v, ok := ConstFold(n.Kids[0])
+		if v == 0 {
+			return 1, ok
+		}
+		return 0, ok
+	case ast.OpSizeofT:
+		if n.Type == nil {
+			return 0, false
+		}
+		return int64(n.Type.Size()), true
+	case ast.OpPlus, ast.OpMinus, ast.OpMultiply, ast.OpDivide, ast.OpModulo,
+		ast.OpShl, ast.OpShr, ast.OpBitAnd, ast.OpBitOr, ast.OpBitXor,
+		ast.OpLt, ast.OpGt, ast.OpLe, ast.OpGe, ast.OpEq, ast.OpNe:
+		a, ok1 := ConstFold(n.Kids[0])
+		b, ok2 := ConstFold(n.Kids[1])
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch n.Op {
+		case ast.OpPlus:
+			return a + b, true
+		case ast.OpMinus:
+			return a - b, true
+		case ast.OpMultiply:
+			return a * b, true
+		case ast.OpDivide:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case ast.OpModulo:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case ast.OpShl:
+			return a << uint(b&63), true
+		case ast.OpShr:
+			return a >> uint(b&63), true
+		case ast.OpBitAnd:
+			return a & b, true
+		case ast.OpBitOr:
+			return a | b, true
+		case ast.OpBitXor:
+			return a ^ b, true
+		case ast.OpLt:
+			return b2i(a < b), true
+		case ast.OpGt:
+			return b2i(a > b), true
+		case ast.OpLe:
+			return b2i(a <= b), true
+		case ast.OpGe:
+			return b2i(a >= b), true
+		case ast.OpEq:
+			return b2i(a == b), true
+		default:
+			return b2i(a != b), true
+		}
+	case ast.OpCond:
+		c, ok := ConstFold(n.Kids[0])
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return ConstFold(n.Kids[1])
+		}
+		return ConstFold(n.Kids[2])
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Env returns the parser's type environment.
+func (p *Parser) Env() TypeEnv { return p.env }

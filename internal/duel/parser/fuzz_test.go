@@ -1,0 +1,32 @@
+package parser
+
+import "testing"
+
+// FuzzParse feeds arbitrary strings to the full pipeline (lexer + parser):
+// any input may be rejected, none may panic. Run with
+// go test -fuzz=FuzzParse ./internal/duel/parser for open-ended fuzzing;
+// the seed corpus runs on every plain `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"x[..100] >? 0",
+		"hash[0..1023]->scope = 0 ;",
+		"L-->next#i->value ==? L-->next#j->value => if (i < j) L-->next[[i,j]]->value",
+		"int i; for (i = 0; i < 1024; i++) (hash[i] !=? 0)->scope >? 5",
+		`printf("%d %d, ", (3,4), 5..7)`,
+		"s[0..999]@(_=='\\0')",
+		"((1..9)*(1..9))[[52,74]]",
+		"(struct symbol *)p",
+		"a := b => {c}",
+		"x#", "..", "-->", "[[", "?:", "0x", "'", `"`, "##",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	env := newTestEnv()
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		_, _ = Parse(src, env)
+	})
+}

@@ -1,0 +1,716 @@
+// Package parser turns DUEL source into ASTs.
+//
+// It is a recursive-descent (Pratt) parser for the full C expression grammar
+// extended with the DUEL operators, control structures as expressions, and
+// DUEL declarations, implementing the precedence documented in DESIGN.md §6.
+// The same package parses C type names and declarations, which the micro-C
+// front end (internal/cparse) reuses.
+package parser
+
+import (
+	"fmt"
+
+	"duel/internal/ctype"
+	"duel/internal/duel/ast"
+	"duel/internal/duel/lexer"
+)
+
+// TypeEnv supplies the type names visible while parsing (casts, sizeof,
+// declarations). dbgif.Debugger satisfies it.
+type TypeEnv interface {
+	Arch() *ctype.Arch
+	LookupTypedef(name string) (ctype.Type, bool)
+	LookupStruct(tag string, union bool) (*ctype.Struct, bool)
+	LookupEnum(tag string) (*ctype.Enum, bool)
+}
+
+// DeclEnv extends TypeEnv with the ability to declare new types; parsers for
+// target programs (internal/cparse) provide it so struct/union/enum/typedef
+// definitions can appear in source. When the env is only a TypeEnv, inline
+// type definitions are rejected.
+type DeclEnv interface {
+	TypeEnv
+	DeclareStruct(tag string, union bool) *ctype.Struct
+	CompleteStruct(s *ctype.Struct, fields []ctype.FieldSpec) error
+	DefineTypedef(name string, t ctype.Type) error
+	DefineEnum(e *ctype.Enum) error
+}
+
+// Error is a parse error with position information.
+type Error struct {
+	Pos lexer.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg) }
+
+// Parser parses one source string.
+type Parser struct {
+	toks []lexer.Token
+	pos  int
+	env  TypeEnv
+}
+
+// New returns a parser over src.
+func New(src string, env TypeEnv) (*Parser, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{toks: toks, env: env}, nil
+}
+
+// Parse parses a complete DUEL command input: a semicolon-separated sequence
+// of declarations and expressions. A trailing semicolon evaluates the input
+// for side effects only (OpDiscard).
+func Parse(src string, env TypeEnv) (*ast.Node, error) {
+	p, err := New(src, env)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.parseSeq(true)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(lexer.EOF); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// ParseExpr parses a single expression (no top-level ';').
+func ParseExpr(src string, env TypeEnv) (*ast.Node, error) {
+	p, err := New(src, env)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.parseExpr(bpAlternate)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(lexer.EOF); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// --- token plumbing ---
+
+func (p *Parser) peek() lexer.Token { return p.toks[p.pos] }
+func (p *Parser) peek2() lexer.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errf(pos lexer.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k lexer.Kind) error {
+	if p.peek().Kind != k {
+		return p.errf(p.peek().Pos, "expected %s, found %s", k, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.peek().Is(kw) {
+		return p.errf(p.peek().Pos, "expected %q, found %s", kw, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+// --- precedence ---
+
+// Binding powers; larger binds tighter (DESIGN.md §6).
+const (
+	bpSequence  = 1
+	bpAlternate = 2
+	bpImply     = 3
+	bpAssign    = 4
+	bpCond      = 5
+	bpOrOr      = 6
+	bpAndAnd    = 7
+	bpBitOr     = 8
+	bpBitXor    = 9
+	bpBitAnd    = 10
+	bpEquality  = 11
+	bpRelation  = 12
+	bpShift     = 13
+	bpAdditive  = 14
+	bpMultip    = 15
+	bpRange     = 16
+	bpUnary     = 17
+	bpPostfix   = 18
+)
+
+type binOp struct {
+	op    ast.Op
+	lbp   int
+	right bool // right-associative
+}
+
+var binOps = map[lexer.Kind]binOp{
+	lexer.Imply:   {ast.OpImply, bpImply, false},
+	lexer.Comma:   {ast.OpAlternate, bpAlternate, false},
+	lexer.OrOr:    {ast.OpOrOr, bpOrOr, false},
+	lexer.AndAnd:  {ast.OpAndAnd, bpAndAnd, false},
+	lexer.Pipe:    {ast.OpBitOr, bpBitOr, false},
+	lexer.Caret:   {ast.OpBitXor, bpBitXor, false},
+	lexer.Amp:     {ast.OpBitAnd, bpBitAnd, false},
+	lexer.Eq:      {ast.OpEq, bpEquality, false},
+	lexer.Ne:      {ast.OpNe, bpEquality, false},
+	lexer.IfEq:    {ast.OpIfEq, bpEquality, false},
+	lexer.IfNe:    {ast.OpIfNe, bpEquality, false},
+	lexer.Lt:      {ast.OpLt, bpRelation, false},
+	lexer.Gt:      {ast.OpGt, bpRelation, false},
+	lexer.Le:      {ast.OpLe, bpRelation, false},
+	lexer.Ge:      {ast.OpGe, bpRelation, false},
+	lexer.IfLt:    {ast.OpIfLt, bpRelation, false},
+	lexer.IfGt:    {ast.OpIfGt, bpRelation, false},
+	lexer.IfLe:    {ast.OpIfLe, bpRelation, false},
+	lexer.IfGe:    {ast.OpIfGe, bpRelation, false},
+	lexer.Shl:     {ast.OpShl, bpShift, false},
+	lexer.Shr:     {ast.OpShr, bpShift, false},
+	lexer.Plus:    {ast.OpPlus, bpAdditive, false},
+	lexer.Minus:   {ast.OpMinus, bpAdditive, false},
+	lexer.Star:    {ast.OpMultiply, bpMultip, false},
+	lexer.Slash:   {ast.OpDivide, bpMultip, false},
+	lexer.Percent: {ast.OpModulo, bpMultip, false},
+	lexer.At:      {ast.OpUntil, bpRange, false},
+
+	lexer.Assign:    {ast.OpAssign, bpAssign, true},
+	lexer.AddAssign: {ast.OpAddAssign, bpAssign, true},
+	lexer.SubAssign: {ast.OpSubAssign, bpAssign, true},
+	lexer.MulAssign: {ast.OpMulAssign, bpAssign, true},
+	lexer.DivAssign: {ast.OpDivAssign, bpAssign, true},
+	lexer.ModAssign: {ast.OpModAssign, bpAssign, true},
+	lexer.AndAssign: {ast.OpAndAssign, bpAssign, true},
+	lexer.OrAssign:  {ast.OpOrAssign, bpAssign, true},
+	lexer.XorAssign: {ast.OpXorAssign, bpAssign, true},
+	lexer.ShlAssign: {ast.OpShlAssign, bpAssign, true},
+	lexer.ShrAssign: {ast.OpShrAssign, bpAssign, true},
+}
+
+// canStartExpr reports whether tok can begin an expression; it decides
+// whether ".." is the binary to operator or the postfix open range (e..).
+func canStartExpr(tok lexer.Token) bool {
+	switch tok.Kind {
+	case lexer.Ident, lexer.IntLit, lexer.FloatLit, lexer.CharLit, lexer.StringLit,
+		lexer.LParen, lexer.LBrace, lexer.Minus, lexer.Plus, lexer.Star, lexer.Amp,
+		lexer.Not, lexer.Tilde, lexer.Inc, lexer.Dec, lexer.DotDot,
+		lexer.CountOf, lexer.SumOf, lexer.AllOf, lexer.AnyOf:
+		return true
+	case lexer.Keyword:
+		switch tok.Text {
+		case "if", "for", "while", "sizeof":
+			return true
+		}
+	}
+	return false
+}
+
+// --- sequences and declarations ---
+
+// parseSeq parses items separated by ';'. Items are DUEL declarations or
+// expressions; a trailing ';' wraps the result in OpDiscard.
+func (p *Parser) parseSeq(top bool) (*ast.Node, error) {
+	var result *ast.Node
+	add := func(n *ast.Node) {
+		if result == nil {
+			result = n
+		} else {
+			result = ast.New(ast.OpSequence, result, n)
+		}
+	}
+	for {
+		if p.startsDecl() {
+			decls, err := p.parseDuelDecls()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range decls {
+				add(d)
+			}
+			// parseDuelDecls consumed the terminating ';'.
+			if p.peek().Kind == lexer.EOF || p.peek().Kind == lexer.RParen || p.peek().Kind == lexer.RBrace {
+				break
+			}
+			continue
+		}
+		n, err := p.parseExpr(bpAlternate)
+		if err != nil {
+			return nil, err
+		}
+		add(n)
+		if p.peek().Kind != lexer.Semi {
+			break
+		}
+		p.next() // ';'
+		if k := p.peek().Kind; k == lexer.EOF || k == lexer.RParen || k == lexer.RBrace {
+			// Trailing semicolon: evaluate for side effects only.
+			result = ast.New(ast.OpDiscard, result)
+			break
+		}
+	}
+	if result == nil {
+		return nil, p.errf(p.peek().Pos, "empty expression")
+	}
+	return result, nil
+}
+
+// --- Pratt core ---
+
+func (p *Parser) parseExpr(minBP int) (*ast.Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseInfix(left, minBP)
+}
+
+func (p *Parser) parseInfix(left *ast.Node, minBP int) (*ast.Node, error) {
+	for {
+		tok := p.peek()
+		// Sequence inside nested contexts is handled by parseSeq only.
+		switch tok.Kind {
+		case lexer.DotDot:
+			if bpRange < minBP {
+				return left, nil
+			}
+			p.next()
+			if !canStartExpr(p.peek()) {
+				left = &ast.Node{Op: ast.OpToOpen, Kids: []*ast.Node{left}, Pos: tok.Pos}
+				continue
+			}
+			rhs, err := p.parseExpr(bpRange + 1)
+			if err != nil {
+				return nil, err
+			}
+			left = &ast.Node{Op: ast.OpTo, Kids: []*ast.Node{left, rhs}, Pos: tok.Pos}
+			continue
+		case lexer.Question:
+			if bpCond < minBP {
+				return left, nil
+			}
+			p.next()
+			mid, err := p.parseExpr(bpAlternate)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(lexer.Colon); err != nil {
+				return nil, err
+			}
+			rhs, err := p.parseExpr(bpCond)
+			if err != nil {
+				return nil, err
+			}
+			left = &ast.Node{Op: ast.OpCond, Kids: []*ast.Node{left, mid, rhs}, Pos: tok.Pos}
+			continue
+		case lexer.Define:
+			if bpAssign < minBP {
+				return left, nil
+			}
+			if left.Op != ast.OpName {
+				return nil, p.errf(tok.Pos, "left side of := must be a name")
+			}
+			p.next()
+			rhs, err := p.parseExpr(bpAssign)
+			if err != nil {
+				return nil, err
+			}
+			left = &ast.Node{Op: ast.OpDefine, Name: left.Name, Kids: []*ast.Node{rhs}, Pos: tok.Pos}
+			continue
+		}
+		b, ok := binOps[tok.Kind]
+		if !ok || b.lbp < minBP {
+			return left, nil
+		}
+		p.next()
+		nextBP := b.lbp + 1
+		if b.right {
+			nextBP = b.lbp
+		}
+		rhs, err := p.parseExpr(nextBP)
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.Node{Op: b.op, Kids: []*ast.Node{left, rhs}, Pos: tok.Pos}
+	}
+}
+
+// --- prefix (nud) ---
+
+func (p *Parser) parseUnary() (*ast.Node, error) {
+	tok := p.peek()
+	switch tok.Kind {
+	case lexer.Minus, lexer.Plus, lexer.Not, lexer.Tilde, lexer.Star, lexer.Amp, lexer.Inc, lexer.Dec:
+		p.next()
+		kid, err := p.parseExpr(bpUnary)
+		if err != nil {
+			return nil, err
+		}
+		var op ast.Op
+		switch tok.Kind {
+		case lexer.Minus:
+			op = ast.OpNeg
+		case lexer.Plus:
+			op = ast.OpPos
+		case lexer.Not:
+			op = ast.OpNot
+		case lexer.Tilde:
+			op = ast.OpBitNot
+		case lexer.Star:
+			op = ast.OpIndirect
+		case lexer.Amp:
+			op = ast.OpAddrOf
+		case lexer.Inc:
+			op = ast.OpPreInc
+		case lexer.Dec:
+			op = ast.OpPreDec
+		}
+		return &ast.Node{Op: op, Kids: []*ast.Node{kid}, Pos: tok.Pos}, nil
+	case lexer.DotDot: // ..e is shorthand for 0..e-1
+		p.next()
+		kid, err := p.parseExpr(bpUnary)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Node{Op: ast.OpToPrefix, Kids: []*ast.Node{kid}, Pos: tok.Pos}, nil
+	case lexer.CountOf, lexer.SumOf, lexer.AllOf, lexer.AnyOf:
+		p.next()
+		kid, err := p.parseExpr(bpRange)
+		if err != nil {
+			return nil, err
+		}
+		var op ast.Op
+		switch tok.Kind {
+		case lexer.CountOf:
+			op = ast.OpCount
+		case lexer.SumOf:
+			op = ast.OpSum
+		case lexer.AllOf:
+			op = ast.OpAll
+		case lexer.AnyOf:
+			op = ast.OpAny
+		}
+		return &ast.Node{Op: op, Kids: []*ast.Node{kid}, Pos: tok.Pos}, nil
+	case lexer.Keyword:
+		switch tok.Text {
+		case "sizeof":
+			return p.parseSizeof()
+		case "if":
+			return p.parseIf()
+		case "while":
+			return p.parseWhile()
+		case "for":
+			return p.parseFor()
+		}
+		return nil, p.errf(tok.Pos, "unexpected keyword %q in expression", tok.Text)
+	}
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	return p.parsePostfix(left)
+}
+
+func (p *Parser) parseSizeof() (*ast.Node, error) {
+	pos := p.peek().Pos
+	p.next() // sizeof
+	if p.peek().Kind == lexer.LParen && p.startsTypeAt(1) {
+		p.next() // '('
+		t, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return &ast.Node{Op: ast.OpSizeofT, Type: t, Pos: pos}, nil
+	}
+	kid, err := p.parseExpr(bpUnary)
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Node{Op: ast.OpSizeofE, Kids: []*ast.Node{kid}, Pos: pos}, nil
+}
+
+func (p *Parser) parseIf() (*ast.Node, error) {
+	pos := p.peek().Pos
+	p.next() // if
+	if err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr(bpAlternate)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseExpr(bpAssign)
+	if err != nil {
+		return nil, err
+	}
+	kids := []*ast.Node{cond, then}
+	if p.peek().Is("else") {
+		p.next()
+		els, err := p.parseExpr(bpAssign)
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, els)
+	}
+	return &ast.Node{Op: ast.OpIf, Kids: kids, Pos: pos}, nil
+}
+
+func (p *Parser) parseWhile() (*ast.Node, error) {
+	pos := p.peek().Pos
+	p.next()
+	if err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr(bpAlternate)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr(bpAssign)
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Node{Op: ast.OpWhile, Kids: []*ast.Node{cond, body}, Pos: pos}, nil
+}
+
+func (p *Parser) parseFor() (*ast.Node, error) {
+	pos := p.peek().Pos
+	p.next()
+	if err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	parseClause := func(end lexer.Kind) (*ast.Node, error) {
+		if p.peek().Kind == end {
+			return &ast.Node{Op: ast.OpNothing}, nil
+		}
+		return p.parseExpr(bpAlternate)
+	}
+	init, err := parseClause(lexer.Semi)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(lexer.Semi); err != nil {
+		return nil, err
+	}
+	cond, err := parseClause(lexer.Semi)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(lexer.Semi); err != nil {
+		return nil, err
+	}
+	post, err := parseClause(lexer.RParen)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr(bpAssign)
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Node{Op: ast.OpFor, Kids: []*ast.Node{init, cond, post, body}, Pos: pos}, nil
+}
+
+// --- primaries ---
+
+func (p *Parser) parsePrimary() (*ast.Node, error) {
+	tok := p.peek()
+	switch tok.Kind {
+	case lexer.Ident:
+		p.next()
+		return &ast.Node{Op: ast.OpName, Name: tok.Text, Pos: tok.Pos}, nil
+	case lexer.IntLit:
+		p.next()
+		return &ast.Node{Op: ast.OpConst, Int: tok.Int, Unsigned: tok.Unsigned, Long: tok.Long, Text: tok.Text, Pos: tok.Pos}, nil
+	case lexer.CharLit:
+		p.next()
+		return &ast.Node{Op: ast.OpConst, Int: tok.Int, Text: tok.Text, Pos: tok.Pos}, nil
+	case lexer.FloatLit:
+		p.next()
+		return &ast.Node{Op: ast.OpFConst, Float: tok.Float, Text: tok.Text, Pos: tok.Pos}, nil
+	case lexer.StringLit:
+		p.next()
+		return &ast.Node{Op: ast.OpStr, Str: tok.Str, Text: tok.Text, Pos: tok.Pos}, nil
+	case lexer.LBrace:
+		p.next()
+		inner, err := p.parseSeq(false)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(lexer.RBrace); err != nil {
+			return nil, err
+		}
+		return &ast.Node{Op: ast.OpCurly, Kids: []*ast.Node{inner}, Pos: tok.Pos}, nil
+	case lexer.LParen:
+		if p.startsTypeAt(1) {
+			// Cast.
+			p.next()
+			t, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			kid, err := p.parseExpr(bpUnary)
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Node{Op: ast.OpCast, Type: t, Kids: []*ast.Node{kid}, Pos: tok.Pos}, nil
+		}
+		p.next()
+		inner, err := p.parseSeq(false)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return &ast.Node{Op: ast.OpGroup, Kids: []*ast.Node{inner}, Pos: tok.Pos}, nil
+	}
+	return nil, p.errf(tok.Pos, "unexpected %s in expression", tok)
+}
+
+// --- postfix ---
+
+func (p *Parser) parsePostfix(left *ast.Node) (*ast.Node, error) {
+	for {
+		tok := p.peek()
+		switch tok.Kind {
+		case lexer.LBracket:
+			p.next()
+			if p.peek().Kind == lexer.LBracket {
+				// select: e[[e]]
+				p.next()
+				idx, err := p.parseSeq(false)
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(lexer.RBracket); err != nil {
+					return nil, err
+				}
+				if err := p.expect(lexer.RBracket); err != nil {
+					return nil, err
+				}
+				left = &ast.Node{Op: ast.OpSelect, Kids: []*ast.Node{left, idx}, Pos: tok.Pos}
+				continue
+			}
+			idx, err := p.parseSeq(false)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(lexer.RBracket); err != nil {
+				return nil, err
+			}
+			left = &ast.Node{Op: ast.OpIndex, Kids: []*ast.Node{left, idx}, Pos: tok.Pos}
+		case lexer.LParen:
+			p.next()
+			args := []*ast.Node{left}
+			if p.peek().Kind != lexer.RParen {
+				for {
+					a, err := p.parseExpr(bpImply)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().Kind != lexer.Comma {
+						break
+					}
+					p.next()
+				}
+			}
+			if err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			left = &ast.Node{Op: ast.OpCall, Kids: args, Pos: tok.Pos}
+		case lexer.Dot, lexer.Arrow, lexer.Expand, lexer.BExpand:
+			p.next()
+			rhs, err := p.parseWithOperand()
+			if err != nil {
+				return nil, err
+			}
+			var op ast.Op
+			switch tok.Kind {
+			case lexer.Dot:
+				op = ast.OpWithDot
+			case lexer.Arrow:
+				op = ast.OpWithArrow
+			case lexer.Expand:
+				op = ast.OpDfs
+			case lexer.BExpand:
+				op = ast.OpBfs
+			}
+			left = &ast.Node{Op: op, Kids: []*ast.Node{left, rhs}, Pos: tok.Pos}
+		case lexer.Hash:
+			if p.peek2().Kind != lexer.Ident {
+				return left, nil
+			}
+			p.next()
+			name := p.next()
+			left = &ast.Node{Op: ast.OpIndexOf, Name: name.Text, Kids: []*ast.Node{left}, Pos: tok.Pos}
+		case lexer.Inc:
+			p.next()
+			left = &ast.Node{Op: ast.OpPostInc, Kids: []*ast.Node{left}, Pos: tok.Pos}
+		case lexer.Dec:
+			p.next()
+			left = &ast.Node{Op: ast.OpPostDec, Kids: []*ast.Node{left}, Pos: tok.Pos}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseWithOperand parses the right side of '.', '->', '-->' and '-->>'.
+// Per the paper's examples it may be a name, a parenthesized expression
+// ("hash[1,9]->(scope,name)"), a control expression without parentheses
+// ("x[..10].if (_ < 0) _"), a constant, '_' or a curly override; postfix
+// operators after it apply to the whole with-expression, so that
+// "L-->next#i->value" indexes the expansion, not "next".
+func (p *Parser) parseWithOperand() (*ast.Node, error) {
+	tok := p.peek()
+	switch tok.Kind {
+	case lexer.Keyword:
+		switch tok.Text {
+		case "if":
+			return p.parseIf()
+		case "while":
+			return p.parseWhile()
+		case "for":
+			return p.parseFor()
+		case "sizeof":
+			return p.parseSizeof()
+		}
+		return nil, p.errf(tok.Pos, "unexpected keyword %q after '.', '->' or '-->'", tok.Text)
+	case lexer.Ident, lexer.IntLit, lexer.CharLit, lexer.FloatLit, lexer.StringLit, lexer.LBrace:
+		return p.parsePrimary()
+	case lexer.LParen:
+		return p.parsePrimary() // parenthesized expression (or cast)
+	}
+	return nil, p.errf(tok.Pos, "expected field expression after '.', '->' or '-->', found %s", tok)
+}

@@ -1,0 +1,231 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"duel/internal/ctype"
+	"duel/internal/duel/lexer"
+)
+
+func TestMoreExpressionShapes(t *testing.T) {
+	cases := []struct{ src, want string }{
+		// Prefix/postfix inc-dec combinations.
+		{"--x", `(predec (name "x"))`},
+		{"x--", `(postdec (name "x"))`},
+		{"- -x", `(negate (negate (name "x")))`},
+		// Compound assignments.
+		{"x %= 2", `(modassign (name "x") (constant 2))`},
+		{"x <<= 1", `(shlassign (name "x") (constant 1))`},
+		{"x &= y |= z", `(andassign (name "x") (orassign (name "y") (name "z")))`},
+		// Until with various stops.
+		{"x@1.5", `(until (name "x") (fconstant 1.5))`},
+		{"s[0..9]@(_=='a')", `(until (index (name "s") (to (constant 0) (constant 9))) (group (eq (name "_") (constant 97))))`},
+		// Ternary with generators in the middle.
+		{"a ? 1,2 : 3", `(cond (name "a") (alternate (constant 1) (constant 2)) (constant 3))`},
+		// Reductions of reductions.
+		{"#/+/(1..3)", `(count (sum (group (to (constant 1) (constant 3)))))`},
+		// Open range inside select.
+		{"(0..)[[5]]", `(select (group (toopen (constant 0))) (constant 5))`},
+		// Char and string operands.
+		{"'a'+1", `(plus (constant 97) (constant 1))`},
+		{`f("x")`, `(call (name "f") (string "x"))`},
+		// Nested with-operands: keywords.
+		{"p->while (a) b", `(witharrow (name "p") (while (name "a") (name "b")))`},
+		{"p->for (;;) b", `(witharrow (name "p") (for (nothing) (nothing) (nothing) (name "b")))`},
+		{"p->sizeof(int)", `(witharrow (name "p") (sizeoftype "int"))`},
+		{"p->5", `(witharrow (name "p") (constant 5))`},
+		{"p->{a}", `(witharrow (name "p") (curly (name "a")))`},
+		// Sequences inside parens and braces.
+		{"(a; b)", `(group (sequence (name "a") (name "b")))`},
+		{"{a; b}", `(curly (sequence (name "a") (name "b")))`},
+		{"(a;)", `(group (discard (name "a")))`},
+		// Declarations between expressions.
+		{"a; int i; b", `(sequence (sequence (name "a") (decl "int i" "i")) (name "b"))`},
+		// Function pointer declarations.
+		{"int (*fp)(int); fp", `(sequence (decl "int (*fp)(int)" "fp") (name "fp"))`},
+		// Hash not followed by an identifier is left alone (ends postfix).
+		{"x#i#j", `(indexof "j" (indexof "i" (name "x")))`},
+	}
+	for _, c := range cases {
+		if got := sexp(t, c.src); got != c.want {
+			t.Errorf("%q:\n got  %s\n want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPeekAtBeyondEnd(t *testing.T) {
+	p, err := New("x", newTestEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok := p.PeekAt(10); tok.Kind != lexer.EOF {
+		t.Errorf("PeekAt(10) = %v", tok)
+	}
+}
+
+func TestStartsTypeAndDecl(t *testing.T) {
+	env := newTestEnv()
+	for src, want := range map[string]bool{
+		"int x":    true,
+		"struct s": true,
+		"const y":  true,
+		"List l":   true, // typedef followed by ident
+		"List * p": true,
+		"x + 1":    false,
+		"List + 1": false, // typedef in expression position
+		"5":        false,
+	} {
+		p, err := New(src, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.StartsDecl(); got != want {
+			t.Errorf("StartsDecl(%q) = %v", src, got)
+		}
+	}
+	p, _ := New("unsigned", env)
+	if !p.StartsType() {
+		t.Error("StartsType(unsigned) = false")
+	}
+}
+
+func TestDeclSpecCombos(t *testing.T) {
+	env := newTestEnv()
+	cases := map[string]string{
+		"signed char":        "signed char",
+		"unsigned short int": "unsigned short",
+		"long int":           "long",
+		"unsigned long long": "unsigned long long",
+		"long double":        "double",
+		"enum color":         "", // unknown tag: error
+		"int int":            "", // double base: error
+		"struct symbol":      "struct symbol",
+	}
+	for src, want := range cases {
+		p, err := New(src, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ty, err := p.ParseTypeName()
+		if want == "" {
+			if err == nil {
+				t.Errorf("ParseTypeName(%q) succeeded: %s", src, ty)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseTypeName(%q): %v", src, err)
+			continue
+		}
+		if got := ty.String(); got != want {
+			t.Errorf("ParseTypeName(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestAnonymousStructTypeName(t *testing.T) {
+	// Inline anonymous struct definitions work under a DeclEnv.
+	p, err := New("struct { int a; double d; } *", newTestEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty, err := p.ParseTypeName()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, ok := ctype.Strip(ty).(*ctype.Pointer)
+	if !ok {
+		t.Fatalf("got %T", ty)
+	}
+	st := ctype.Strip(pt.Elem).(*ctype.Struct)
+	if f, ok := st.Field("d"); !ok || f.Off != 8 {
+		t.Errorf("anon struct layout: %+v", st.Fields)
+	}
+}
+
+func TestForwardStructDeclaration(t *testing.T) {
+	// "struct ghost *" forward-declares under a DeclEnv...
+	env := newTestEnv()
+	p, _ := New("struct ghost *", env)
+	ty, err := p.ParseTypeName()
+	if err != nil {
+		t.Fatalf("forward reference rejected: %v", err)
+	}
+	if !ctype.IsPointer(ty) {
+		t.Errorf("got %s", ty)
+	}
+	if s, ok := env.LookupStruct("ghost", false); !ok || !s.Incomplete {
+		t.Error("shell not registered")
+	}
+}
+
+func TestErrorMessagesMentionTokens(t *testing.T) {
+	cases := map[string]string{
+		"x[1":          "expected ]",
+		"f(1":          "expected )",
+		"if x":         `expected (`,
+		"int 5;":       "declarator",
+		"x->":          "expected field expression",
+		"struct{int}x": "declarator",
+		"x..y..":       "", // legal: (x..y)..  open range
+	}
+	env := newTestEnv()
+	for src, frag := range cases {
+		_, err := Parse(src, env)
+		if frag == "" {
+			if err != nil {
+				t.Errorf("Parse(%q) failed: %v", src, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("Parse(%q) error %q missing %q", src, err, frag)
+		}
+	}
+}
+
+// TestParserNeverPanics fuzzes the parser with byte soup: errors are fine,
+// panics are not.
+func TestParserNeverPanics(t *testing.T) {
+	env := newTestEnv()
+	seeds := []string{
+		"x[..100] >? 0",
+		"hash[..1024]-->next->scope",
+		"a := b => {c} + d",
+		"((((((((",
+		"1..2..3..4",
+		"-> -> ->",
+		"[[ ]] [[ ]]",
+		"int int int",
+		"x@@@y",
+		"#/#/#/",
+		"sizeof sizeof sizeof x",
+		"} { ) ( ] [",
+		"x ? : y",
+		"'",
+		`"`,
+		"0x",
+		"1e",
+		"a.b.c.d.e.f->g->h-->i-->>j",
+		"while while while",
+		"/* unterminated",
+		"a ## comment\nb",
+	}
+	for _, s := range seeds {
+		for i := 0; i <= len(s); i++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on %q: %v", s[:i], r)
+					}
+				}()
+				_, _ = Parse(s[:i], env)
+			}()
+		}
+	}
+}

@@ -1,0 +1,398 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"duel/internal/ctype"
+)
+
+// testEnv is a DeclEnv over local registries, standing in for the debugger.
+type testEnv struct {
+	arch     *ctype.Arch
+	typedefs map[string]ctype.Type
+	structs  map[string]*ctype.Struct
+	unions   map[string]*ctype.Struct
+	enums    map[string]*ctype.Enum
+}
+
+func newTestEnv() *testEnv {
+	a := ctype.New(ctype.ILP32)
+	e := &testEnv{
+		arch:     a,
+		typedefs: map[string]ctype.Type{},
+		structs:  map[string]*ctype.Struct{},
+		unions:   map[string]*ctype.Struct{},
+		enums:    map[string]*ctype.Enum{},
+	}
+	// A symbol-table-like environment.
+	sym := a.NewStruct("symbol", false)
+	_ = a.SetFields(sym, []ctype.FieldSpec{
+		{Name: "name", Type: a.Ptr(a.Char)},
+		{Name: "scope", Type: a.Int},
+		{Name: "next", Type: a.Ptr(sym)},
+	})
+	e.structs["symbol"] = sym
+	e.typedefs["List"] = &ctype.Typedef{Name: "List", Under: a.Ptr(sym)}
+	return e
+}
+
+func (e *testEnv) Arch() *ctype.Arch { return e.arch }
+func (e *testEnv) LookupTypedef(n string) (ctype.Type, bool) {
+	t, ok := e.typedefs[n]
+	return t, ok
+}
+func (e *testEnv) LookupStruct(tag string, union bool) (*ctype.Struct, bool) {
+	m := e.structs
+	if union {
+		m = e.unions
+	}
+	s, ok := m[tag]
+	return s, ok
+}
+func (e *testEnv) LookupEnum(tag string) (*ctype.Enum, bool) {
+	en, ok := e.enums[tag]
+	return en, ok
+}
+func (e *testEnv) DeclareStruct(tag string, union bool) *ctype.Struct {
+	m := e.structs
+	if union {
+		m = e.unions
+	}
+	if s, ok := m[tag]; ok {
+		return s
+	}
+	s := e.arch.NewStruct(tag, union)
+	m[tag] = s
+	return s
+}
+func (e *testEnv) CompleteStruct(s *ctype.Struct, fields []ctype.FieldSpec) error {
+	return e.arch.SetFields(s, fields)
+}
+func (e *testEnv) DefineTypedef(name string, t ctype.Type) error {
+	e.typedefs[name] = t
+	return nil
+}
+func (e *testEnv) DefineEnum(en *ctype.Enum) error {
+	if en.Tag != "" {
+		e.enums[en.Tag] = en
+	}
+	return nil
+}
+
+// sexp parses src and returns the AST in the paper's LISP-like notation.
+func sexp(t *testing.T, src string) string {
+	t.Helper()
+	n, err := Parse(src, newTestEnv())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return n.Sexp()
+}
+
+func TestPaperASTExample(t *testing.T) {
+	// The paper's own AST example: a*5 + *b.
+	want := `(plus (multiply (name "a") (constant 5)) (indirect (name "b")))`
+	if got := sexp(t, "a*5 + *b"); got != want {
+		t.Errorf("got  %s\nwant %s", got, want)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		// Range binds tighter than arithmetic: the paper's "1..100+i"
+		// does 100 lookups of i.
+		{"1..100+i", `(plus (to (constant 1) (constant 100)) (name "i"))`},
+		{"1..3", `(to (constant 1) (constant 3))`},
+		{"..n", `(toprefix (name "n"))`},
+		{"n..", `(toopen (name "n"))`},
+		{"(3,11)+(5..7)", `(plus (group (alternate (constant 3) (constant 11))) (group (to (constant 5) (constant 7))))`},
+		{"a+b*c", `(plus (name "a") (multiply (name "b") (name "c")))`},
+		{"a<<b+c", `(shl (name "a") (plus (name "b") (name "c")))`},
+		{"a<b == c>d", `(eq (lt (name "a") (name "b")) (gt (name "c") (name "d")))`},
+		{"a&b|c^d", `(bitor (bitand (name "a") (name "b")) (bitxor (name "c") (name "d")))`},
+		{"a&&b||c", `(oror (andand (name "a") (name "b")) (name "c"))`},
+		{"a>?b<?c", `(iflt (ifgt (name "a") (name "b")) (name "c"))`},
+		{"x==?5", `(ifeq (name "x") (constant 5))`},
+		{"a=b=c", `(assign (name "a") (assign (name "b") (name "c")))`},
+		{"a+=2", `(addassign (name "a") (constant 2))`},
+		{"i := 1..3", `(define "i" (to (constant 1) (constant 3)))`},
+		{"a,b=>c", `(alternate (name "a") (imply (name "b") (name "c")))`},
+		{"a=>b,c", `(alternate (imply (name "a") (name "b")) (name "c"))`},
+		{"a;b", `(sequence (name "a") (name "b"))`},
+		{"a;", `(discard (name "a"))`},
+		{"a?b:c", `(cond (name "a") (name "b") (name "c"))`},
+		{"a@0", `(until (name "a") (constant 0))`},
+		{"x[0..]@0", `(until (index (name "x") (toopen (constant 0))) (constant 0))`},
+		{"-a*b", `(multiply (negate (name "a")) (name "b"))`},
+		{"!a&&b", `(andand (not (name "a")) (name "b"))`},
+		{"*p++", `(indirect (postinc (name "p")))`},
+		{"#/x[..10]", `(count (index (name "x") (toprefix (constant 10))))`},
+		{"#/1..10", `(count (to (constant 1) (constant 10)))`},
+		{"+/x[..3]", `(sum (index (name "x") (toprefix (constant 3))))`},
+	}
+	for _, c := range cases {
+		if got := sexp(t, c.src); got != c.want {
+			t.Errorf("%q:\n got  %s\n want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPostfixChains(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"x[1]", `(index (name "x") (constant 1))`},
+		{"x[1][2]", `(index (index (name "x") (constant 1)) (constant 2))`},
+		{"x[[2]]", `(select (name "x") (constant 2))`},
+		{"x[[52,74]]", `(select (name "x") (alternate (constant 52) (constant 74)))`},
+		{"x[a[0]]", `(index (name "x") (index (name "a") (constant 0)))`},
+		{"x[[a[0]]]", `(select (name "x") (index (name "a") (constant 0)))`},
+		{"p->next", `(witharrow (name "p") (name "next"))`},
+		{"s.f", `(with (name "s") (name "f"))`},
+		{"p->next->next", `(witharrow (witharrow (name "p") (name "next")) (name "next"))`},
+		{"head-->next", `(dfs (name "head") (name "next"))`},
+		{"root-->>(left,right)", `(bfs (name "root") (group (alternate (name "left") (name "right"))))`},
+		// #i binds the dfs result, not "next".
+		{"L-->next#i", `(indexof "i" (dfs (name "L") (name "next")))`},
+		{"L-->next#i->value", `(witharrow (indexof "i" (dfs (name "L") (name "next"))) (name "value"))`},
+		{"hash[1,9]->(scope,name)", `(witharrow (index (name "hash") (alternate (constant 1) (constant 9))) (group (alternate (name "scope") (name "name"))))`},
+		{"x.if (_ < 0) _", `(with (name "x") (if (lt (name "_") (constant 0)) (name "_")))`},
+		{"f(1,2)", `(call (name "f") (constant 1) (constant 2))`},
+		{"f()", `(call (name "f"))`},
+		{"x++", `(postinc (name "x"))`},
+		{"x--", `(postdec (name "x"))`},
+		{"x#i", `(indexof "i" (name "x"))`},
+	}
+	for _, c := range cases {
+		if got := sexp(t, c.src); got != c.want {
+			t.Errorf("%q:\n got  %s\n want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestControlExpressions(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"if (a) b", `(if (name "a") (name "b"))`},
+		{"if (a) b else c", `(if (name "a") (name "b") (name "c"))`},
+		{"if (a) if (b) c else d", `(if (name "a") (if (name "b") (name "c") (name "d")))`},
+		{"while (a) b", `(while (name "a") (name "b"))`},
+		{"for (i=0; i<9; i++) b", `(for (assign (name "i") (constant 0)) (lt (name "i") (constant 9)) (postinc (name "i")) (name "b"))`},
+		{"for (;;) b", `(for (nothing) (nothing) (nothing) (name "b"))`},
+		{"if (a) x = 1", `(if (name "a") (assign (name "x") (constant 1)))`},
+		{"4 + if (i%3 == 0) i*5", `(plus (constant 4) (if (eq (modulo (name "i") (constant 3)) (constant 0)) (multiply (name "i") (constant 5))))`},
+		{"{i}*5", `(multiply (curly (name "i")) (constant 5))`},
+	}
+	for _, c := range cases {
+		if got := sexp(t, c.src); got != c.want {
+			t.Errorf("%q:\n got  %s\n want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestCastsAndSizeof(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"(double)3/2", `(divide (cast "double" (constant 3)) (constant 2))`},
+		{"(int)x", `(cast "int" (name "x"))`},
+		{"(struct symbol *)p", `(cast "struct symbol *" (name "p"))`},
+		{"(List)p", `(cast "List" (name "p"))`},
+		{"(unsigned long)x", `(cast "unsigned long" (name "x"))`},
+		{"(char **)v", `(cast "char **" (name "v"))`},
+		{"(int (*)[4])m", `(cast "int (*)[4]" (name "m"))`},
+		{"sizeof(int)", `(sizeoftype "int")`},
+		{"sizeof(struct symbol)", `(sizeoftype "struct symbol")`},
+		{"sizeof x", `(sizeofexpr (name "x"))`},
+		{"sizeof(x)", `(sizeofexpr (group (name "x")))`},
+		{"(x)+1", `(plus (group (name "x")) (constant 1))`},
+		{"(x)*y", `(multiply (group (name "x")) (name "y"))`},
+	}
+	for _, c := range cases {
+		if got := sexp(t, c.src); got != c.want {
+			t.Errorf("%q:\n got  %s\n want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestDuelDeclarations(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"int i; i", `(sequence (decl "int i" "i") (name "i"))`},
+		{"int i, *p; i", `(sequence (sequence (decl "int i" "i") (decl "int *p" "p")) (name "i"))`},
+		{"int i = 5; i", `(sequence (decl "int i" "i" (constant 5)) (name "i"))`},
+		{"struct symbol *s; s", `(sequence (decl "struct symbol *s" "s") (name "s"))`},
+		{"List l; l", `(sequence (decl "List l" "l") (name "l"))`},
+		{"int a[10]; a", `(sequence (decl "int a[10]" "a") (name "a"))`},
+	}
+	for _, c := range cases {
+		if got := sexp(t, c.src); got != c.want {
+			t.Errorf("%q:\n got  %s\n want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 +",
+		"x[",
+		"x[[1]",
+		"(1,2",
+		"if (x) ",
+		"for (i=0; i<9) b",
+		"1 2",
+		"x->",
+		"x-->",
+		"a := := b",
+		"1 := b",
+		"int",
+		"int 5;",
+		"sizeof",
+		"{x",
+		"x@",
+		"} x",
+		"(unknown_t)x + y z", // not a typedef: trailing junk
+	}
+	env := newTestEnv()
+	for _, src := range bad {
+		if _, err := Parse(src, env); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("x +\n  *", newTestEnv())
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+func TestTypeNameParsing(t *testing.T) {
+	env := newTestEnv()
+	cases := []struct{ src, want string }{
+		{"int", "int"},
+		{"unsigned", "unsigned int"},
+		{"unsigned char", "unsigned char"},
+		{"long long", "long long"},
+		{"short int", "short"},
+		{"struct symbol *", "struct symbol *"},
+		{"int *[10]", "int *[10]"},
+		{"int (*)(int, char *)", "int (*)(int, char *)"},
+		{"void", "void"},
+		{"const int", "int"},
+	}
+	for _, c := range cases {
+		p, err := New(c.src, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ty, err := p.ParseTypeName()
+		if err != nil {
+			t.Errorf("ParseTypeName(%q): %v", c.src, err)
+			continue
+		}
+		if got := ctype.FormatDecl(ty, ""); got != c.want {
+			t.Errorf("ParseTypeName(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestConstFold(t *testing.T) {
+	env := newTestEnv()
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"-4", -4},
+		{"~0", -1},
+		{"!5", 0},
+		{"1<<10", 1024},
+		{"7/2", 3},
+		{"7%2", 1},
+		{"1 < 2", 1},
+		{"1 ? 10 : 20", 10},
+		{"0 ? 10 : 20", 20},
+		{"sizeof(int)*4", 16},
+	}
+	for _, c := range cases {
+		n, err := ParseExpr(c.src, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := ConstFold(n)
+		if !ok || got != c.want {
+			t.Errorf("ConstFold(%q) = %d, %v; want %d", c.src, got, ok, c.want)
+		}
+	}
+	n, _ := ParseExpr("x+1", env)
+	if _, ok := ConstFold(n); ok {
+		t.Error("non-constant folded")
+	}
+	n, _ = ParseExpr("1/0", env)
+	if _, ok := ConstFold(n); ok {
+		t.Error("division by zero folded")
+	}
+}
+
+func TestInlineTypeDefsRequireDeclEnv(t *testing.T) {
+	// A plain TypeEnv (like the debugger at the duel prompt) must reject
+	// inline struct definitions.
+	type roEnv struct{ *testEnv }
+	env := roEnv{newTestEnv()}
+	ro := struct{ TypeEnv }{env}
+	if _, err := Parse("(struct q { int a; } *)p", ro); err == nil {
+		t.Error("inline struct definition accepted without DeclEnv")
+	}
+	if _, err := Parse("sizeof(struct symbol)", ro); err != nil {
+		t.Errorf("existing struct reference rejected: %v", err)
+	}
+}
+
+func TestStructBodyParsing(t *testing.T) {
+	env := newTestEnv()
+	p, err := New("struct pair { int a, b; unsigned f : 3, g : 5; char *s; }", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty, err := p.ParseTypeName()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := ctype.Strip(ty).(*ctype.Struct)
+	if !ok {
+		t.Fatalf("got %T", ty)
+	}
+	if len(s.Fields) != 5 {
+		t.Fatalf("%d fields", len(s.Fields))
+	}
+	if f, _ := s.Field("g"); f.BitWidth != 5 || f.BitOff != 3 {
+		t.Errorf("bitfield g = %+v", f)
+	}
+}
+
+func TestEnumDefParsing(t *testing.T) {
+	env := newTestEnv()
+	p, err := New("enum color { RED, GREEN = 5, BLUE }", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty, err := p.ParseTypeName()
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, ok := ctype.Strip(ty).(*ctype.Enum)
+	if !ok {
+		t.Fatalf("got %T", ty)
+	}
+	want := map[string]int64{"RED": 0, "GREEN": 5, "BLUE": 6}
+	for name, v := range want {
+		if got, ok := en.Lookup(name); !ok || got != v {
+			t.Errorf("%s = %d, %v; want %d", name, got, ok, v)
+		}
+	}
+	if _, ok := env.LookupEnum("color"); !ok {
+		t.Error("enum not registered in env")
+	}
+}

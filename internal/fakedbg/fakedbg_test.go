@@ -1,0 +1,77 @@
+package fakedbg_test
+
+import (
+	"testing"
+
+	"duel/internal/ctype"
+	"duel/internal/dbgif"
+	"duel/internal/dbgif/dbgiftest"
+	"duel/internal/fakedbg"
+)
+
+// TestConformance runs the narrow-interface battery against the flat-RAM
+// fake, independently of the full debugger stack.
+func TestConformance(t *testing.T) {
+	f := fakedbg.New(ctype.ILP32, 1<<16)
+	a := f.A
+
+	g := f.DefineVar("g", a.Int)
+	_ = f.PutTargetBytes(g.Addr, []byte{42, 0, 0, 0})
+
+	arr := f.DefineVar("arr", a.ArrayOf(a.Int, 4))
+	for i := 0; i < 4; i++ {
+		_ = f.PutTargetBytes(arr.Addr+uint64(4*i), []byte{byte(i + 1), 0, 0, 0})
+	}
+
+	// msg -> "hi"
+	strAddr, _ := f.AllocTargetSpace(3, 1)
+	_ = f.PutTargetBytes(strAddr, []byte{'h', 'i', 0})
+	msg := f.DefineVar("msg", a.Ptr(a.Char))
+	_ = f.PutTargetBytes(msg.Addr, []byte{byte(strAddr), byte(strAddr >> 8), byte(strAddr >> 16), byte(strAddr >> 24)})
+
+	pair, _ := a.StructOf("pair",
+		ctype.FieldSpec{Name: "x", Type: a.Int},
+		ctype.FieldSpec{Name: "y", Type: a.Int},
+	)
+	f.Structs["pair"] = pair
+	pt := f.DefineVar("pt", pair)
+	_ = f.PutTargetBytes(pt.Addr, []byte{7, 0, 0, 0, 8, 0, 0, 0})
+
+	f.Typedefs["myint"] = a.Int
+	f.Enums["color"] = a.EnumOf("color", []ctype.EnumConst{{Name: "RED", Value: 0}, {Name: "BLUE", Value: 6}})
+
+	ft := a.FuncOf(a.Int, []ctype.Type{a.Int}, false)
+	fn := dbgif.VarInfo{Name: "twice", Type: ft, Addr: 0x9000}
+	f.Vars["twice"] = fn
+	f.Funcs[0x9000] = func(args []dbgif.Value) (dbgif.Value, error) {
+		v := int64(args[0].Bytes[0]) * 2
+		return dbgif.Value{Type: a.Int, Bytes: []byte{byte(v), 0, 0, 0}}, nil
+	}
+
+	dbgiftest.Run(t, dbgiftest.Fixture{
+		D: f, G: g, Arr: arr, Msg: msg, Pt: pt, Fn: fn, Pair: pair,
+	})
+}
+
+func TestFrameResolution(t *testing.T) {
+	f := fakedbg.New(ctype.ILP32, 1<<12)
+	a := f.A
+	g := f.DefineVar("v", a.Int)
+	_ = f.PutTargetBytes(g.Addr, []byte{1, 0, 0, 0})
+	loc, _ := f.AllocTargetSpace(4, 4)
+	_ = f.PutTargetBytes(loc, []byte{2, 0, 0, 0})
+	f.Frames = [][]dbgif.VarInfo{{{Name: "v", Type: a.Int, Addr: loc}}}
+
+	// Frame local shadows the global in GetTargetVariable.
+	vi, ok := f.GetTargetVariable("v")
+	if !ok || vi.Addr != loc {
+		t.Errorf("frame shadowing failed: %+v", vi)
+	}
+	if n := f.NumFrames(); n != 1 {
+		t.Errorf("NumFrames = %d", n)
+	}
+	ls, ok := f.FrameLocals(0)
+	if !ok || len(ls) != 1 {
+		t.Errorf("FrameLocals = %v, %v", ls, ok)
+	}
+}

@@ -1,0 +1,579 @@
+package microc_test
+
+import (
+	"strings"
+	"testing"
+
+	"duel/internal/cparse"
+	"duel/internal/ctype"
+	"duel/internal/debugger"
+	"duel/internal/microc"
+	"duel/internal/target"
+)
+
+// load builds a process and loads src into it.
+func load(t *testing.T, src string) (*target.Process, *microc.Interp) {
+	t.Helper()
+	p := target.MustNewProcess(target.Config{Model: ctype.ILP32, DataSize: 1 << 20, HeapSize: 1 << 20, StackSize: 1 << 18})
+	var sb strings.Builder
+	p.Stdout = &sb
+	in, err := microc.Load(p, debugger.New(p), src)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return p, in
+}
+
+func stdout(p *target.Process) string { return p.Stdout.(*strings.Builder).String() }
+
+func TestGlobalsAndInitializers(t *testing.T) {
+	p, _ := load(t, `
+int a = 42;
+int b[4] = {1, 2, 3};
+char s[] = "hey";
+char *msg = "yo";
+int neg = -(2+3);
+double d = 2.5;
+struct pt { int x, y; };
+struct pt origin = {7, 9};
+int inferred[] = {5, 6, 7, 8};
+`)
+	checkInt := func(name string, off int, want int64) {
+		t.Helper()
+		v, ok := p.Global(name)
+		if !ok {
+			t.Fatalf("missing global %q", name)
+		}
+		got, err := p.PeekInt(v.Addr+uint64(off), p.Arch.Int)
+		if err != nil || got != want {
+			t.Errorf("%s+%d = %d, %v; want %d", name, off, got, err, want)
+		}
+	}
+	checkInt("a", 0, 42)
+	checkInt("b", 0, 1)
+	checkInt("b", 8, 3)
+	checkInt("b", 12, 0) // rest zeroed
+	checkInt("neg", 0, -5)
+	checkInt("origin", 0, 7)
+	checkInt("origin", 4, 9)
+	checkInt("inferred", 12, 8)
+	if v, _ := p.Global("inferred"); v.Type.Size() != 16 {
+		t.Errorf("inferred size = %d", v.Type.Size())
+	}
+	sv, _ := p.Global("s")
+	if got, _ := p.Space.ReadCString(sv.Addr, 10); got != "hey" {
+		t.Errorf("s = %q", got)
+	}
+	if sv.Type.Size() != 4 {
+		t.Errorf("s size = %d, want 4", sv.Type.Size())
+	}
+	mv, _ := p.Global("msg")
+	addr, _ := p.PeekInt(mv.Addr, p.Arch.Ptr(p.Arch.Char))
+	if got, _ := p.Space.ReadCString(uint64(addr), 10); got != "yo" {
+		t.Errorf("msg -> %q", got)
+	}
+}
+
+func TestFunctionsRecursion(t *testing.T) {
+	_, in := load(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+`)
+	got, err := in.CallInts("fib", 10)
+	if err != nil || got != 55 {
+		t.Errorf("fib(10) = %d, %v", got, err)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	_, in := load(t, `
+int sum_even(int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i <= n; i = i + 1) {
+		if (i % 2 != 0) continue;
+		s = s + i;
+	}
+	return s;
+}
+
+int find_first(int limit) {
+	int i = 0;
+	while (1) {
+		if (i * i > limit) break;
+		i = i + 1;
+	}
+	return i;
+}
+`)
+	if got, _ := in.CallInts("sum_even", 10); got != 30 {
+		t.Errorf("sum_even(10) = %d", got)
+	}
+	if got, _ := in.CallInts("find_first", 100); got != 11 {
+		t.Errorf("find_first(100) = %d", got)
+	}
+}
+
+func TestPointersAndHeap(t *testing.T) {
+	p, in := load(t, `
+struct node { int v; struct node *next; };
+struct node *head;
+
+/* val, not v: the field name v would capture the right side of
+   "n->v = v" under DUEL's with-scope semantics. */
+void push(int val) {
+	struct node *n;
+	n = (struct node *) malloc(sizeof(struct node));
+	n->v = val;
+	n->next = head;
+	head = n;
+}
+
+int total() {
+	int s = 0;
+	struct node *q;
+	q = head;
+	while (q) {
+		s = s + q->v;
+		q = q->next;
+	}
+	return s;
+}
+
+int main() {
+	push(1); push(2); push(3);
+	return total();
+}
+`)
+	got, err := in.RunMain(nil)
+	if err != nil || got != 6 {
+		t.Errorf("main = %d, %v", got, err)
+	}
+	hv, _ := p.Global("head")
+	addr, _ := p.PeekInt(hv.Addr, hv.Type)
+	if addr == 0 {
+		t.Error("head still NULL")
+	}
+}
+
+func TestPrintf(t *testing.T) {
+	p, in := load(t, `
+int main() {
+	int i;
+	printf("start\n");
+	for (i = 0; i < 3; i = i + 1)
+		printf("i=%d sq=%d\n", i, i*i);
+	printf("%s|%c|%x|%05d|%-3d|%u|%f\n", "str", 65, 255, 42, 7, 4294967295, 1.5);
+	puts("done");
+	putchar(33);
+	return 0;
+}
+`)
+	if _, err := in.RunMain(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "start\ni=0 sq=0\ni=1 sq=1\ni=2 sq=4\nstr|A|ff|00042|7  |4294967295|1.500000\ndone\n!"
+	if got := stdout(p); got != want {
+		t.Errorf("stdout:\n got  %q\n want %q", got, want)
+	}
+}
+
+func TestStringsLib(t *testing.T) {
+	_, in := load(t, `
+char buf[32];
+int main() {
+	strcpy(buf, "hello");
+	if (strcmp(buf, "hello") != 0) return 1;
+	if (strcmp(buf, "world") >= 0) return 2;
+	return strlen(buf);
+}
+`)
+	got, err := in.RunMain(nil)
+	if err != nil || got != 5 {
+		t.Errorf("main = %d, %v", got, err)
+	}
+}
+
+func TestArgv(t *testing.T) {
+	_, in := load(t, `
+int count;
+int main(int argc, char **argv) {
+	count = argc;
+	return strlen(argv[1]);
+}
+`)
+	got, err := in.RunMain([]string{"prog", "abc"})
+	if err != nil || got != 3 {
+		t.Errorf("main = %d, %v", got, err)
+	}
+}
+
+func TestTypedefsEnums(t *testing.T) {
+	_, in := load(t, `
+typedef struct pair { int a, b; } Pair;
+typedef Pair *PairPtr;
+enum color { RED, GREEN = 5, BLUE };
+
+int use() {
+	Pair p;
+	PairPtr q;
+	p.a = GREEN;
+	p.b = BLUE;
+	q = &p;
+	return q->a + q->b;
+}
+`)
+	if got, err := in.CallInts("use"); err != nil || got != 11 {
+		t.Errorf("use = %d, %v", got, err)
+	}
+}
+
+func TestInfiniteRecursionCaught(t *testing.T) {
+	_, in := load(t, `int boom(int n) { return boom(n); }`)
+	if _, err := in.CallInts("boom", 1); err == nil {
+		t.Error("runaway recursion not caught")
+	}
+}
+
+func TestStmtHook(t *testing.T) {
+	_, in := load(t, `
+int f() {
+	int a = 1;
+	a = a + 1;
+	return a;
+}
+`)
+	var lines []int
+	in.Hook = func(fn *cparse.FuncDef, line int, isBlock bool) error {
+		lines = append(lines, line)
+		return nil
+	}
+	if _, err := in.CallInts("f"); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 3 {
+		t.Errorf("hook saw %d statements: %v", len(lines), lines)
+	}
+}
+
+func TestLocalShadowing(t *testing.T) {
+	_, in := load(t, `
+int x = 100;
+int f() {
+	int x = 5;
+	return x;
+}
+int g() { return x; }
+`)
+	if got, _ := in.CallInts("f"); got != 5 {
+		t.Errorf("f (local x) = %d", got)
+	}
+	if got, _ := in.CallInts("g"); got != 100 {
+		t.Errorf("g (global x) = %d", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	p := target.MustNewProcess(target.Config{Model: ctype.ILP32, DataSize: 1 << 16, HeapSize: 1 << 16, StackSize: 1 << 14})
+	d := debugger.New(p)
+	for _, src := range []string{
+		"int f( {",
+		"int x = ;",
+		"int f() { return }",
+		"int f() { break; }", // break outside loop caught at run time? no: structural
+		"garbage",
+		"int a[3] = {1,2,3,4};",
+	} {
+		p2 := target.MustNewProcess(target.Config{Model: ctype.ILP32, DataSize: 1 << 16, HeapSize: 1 << 16, StackSize: 1 << 14})
+		if in, err := microc.Load(p2, debugger.New(p2), src); err == nil {
+			// "break outside loop" is a runtime error.
+			if strings.Contains(src, "break") {
+				if _, cerr := in.CallInts("f"); cerr == nil {
+					t.Errorf("%q ran without error", src)
+				}
+				continue
+			}
+			t.Errorf("Load(%q) succeeded", src)
+		}
+	}
+	_ = d
+}
+
+func TestSwitch(t *testing.T) {
+	_, in := load(t, `
+int classify(int n) {
+	int r = 0;
+	switch (n) {
+	case 0:
+		r = 100;
+		break;
+	case 1:
+	case 2:
+		r = 200;
+		break;
+	case 3:
+		r = 300;
+		/* fallthrough */
+	case 4:
+		r = r + 1;
+		break;
+	default:
+		r = -1;
+	}
+	return r;
+}
+`)
+	cases := map[int64]int64{0: 100, 1: 200, 2: 200, 3: 301, 4: 1, 5: -1, -9: -1}
+	for n, want := range cases {
+		if got, err := in.CallInts("classify", n); err != nil || got != want {
+			t.Errorf("classify(%d) = %d, %v; want %d", n, got, err, want)
+		}
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	_, in := load(t, `
+int count(int n) {
+	int c = 0;
+	do {
+		c = c + 1;
+		n = n - 1;
+	} while (n > 0);
+	return c;
+}
+`)
+	if got, _ := in.CallInts("count", 5); got != 5 {
+		t.Errorf("count(5) = %d", got)
+	}
+	// A do-while body runs at least once.
+	if got, _ := in.CallInts("count", 0); got != 1 {
+		t.Errorf("count(0) = %d, want 1", got)
+	}
+}
+
+func TestSwitchInsideLoop(t *testing.T) {
+	_, in := load(t, `
+int f() {
+	int i, sum = 0;
+	for (i = 0; i < 6; i = i + 1) {
+		switch (i % 3) {
+		case 0:
+			continue;
+		case 1:
+			sum = sum + 10;
+			break;
+		default:
+			sum = sum + 1;
+		}
+	}
+	return sum;
+}
+`)
+	// i=0,3 continue; i=1,4 add 10; i=2,5 add 1: 22.
+	if got, err := in.CallInts("f"); err != nil || got != 22 {
+		t.Errorf("f = %d, %v; want 22", got, err)
+	}
+}
+
+// TestShortCircuitConditions: under DUEL's generator semantics "a && b"
+// with a false left side produces no values; in a C condition that must
+// read as false (regression test for the sorted-insert walk pattern).
+func TestShortCircuitConditions(t *testing.T) {
+	_, in := load(t, `
+struct node { int v; struct node *next; };
+struct node *head;
+
+void insert_sorted(int val) {
+	struct node *n;
+	n = (struct node *) malloc(sizeof(struct node));
+	n->v = val;
+	if (head == 0 || head->v >= val) {
+		n->next = head;
+		head = n;
+		return;
+	}
+	{
+		struct node *p;
+		p = head;
+		while (p->next && p->next->v < val)
+			p = p->next;
+		n->next = p->next;
+		p->next = n;
+	}
+}
+
+int check() {
+	struct node *p;
+	int prev = -1000000;
+	p = head;
+	while (p) {
+		if (p->v < prev) return 0;
+		prev = p->v;
+		p = p->next;
+	}
+	return 1;
+}
+
+int main() {
+	insert_sorted(30); insert_sorted(10); insert_sorted(20);
+	insert_sorted(40); insert_sorted(15);
+	return check();
+}
+`)
+	got, err := in.RunMain(nil)
+	if err != nil || got != 1 {
+		t.Errorf("sorted insert: %d, %v", got, err)
+	}
+	// And-with-false-left inside plain expressions statements.
+	if got, err := in.CallInts("check"); err != nil || got != 1 {
+		t.Errorf("check: %d, %v", got, err)
+	}
+}
+
+// TestStructByValue exercises struct copies, parameters and returns.
+func TestStructByValue(t *testing.T) {
+	_, in := load(t, `
+struct pt { int x, y; };
+struct pt origin;
+struct pt saved;
+
+int takes(struct pt p) { return p.x + p.y; }
+
+/* nx/ny, not x/y: "p.x = x" would read the field under DUEL's
+   with-scope semantics. */
+struct pt makes(int nx, int ny) {
+	struct pt p;
+	p.x = nx;
+	p.y = ny;
+	return p;
+}
+
+int main() {
+	struct pt a;
+	a = makes(3, 4);
+	saved = a;            /* struct assignment */
+	origin.x = saved.y;   /* member through a copied struct */
+	return takes(a);      /* pass by value */
+}
+`)
+	got, err := in.RunMain(nil)
+	if err != nil || got != 7 {
+		t.Fatalf("main = %d, %v", got, err)
+	}
+}
+
+// TestPointerOutParams: the f(&x) idiom.
+func TestPointerOutParams(t *testing.T) {
+	_, in := load(t, `
+void fill(int *p, int v) { *p = v; }
+
+int main() {
+	int a, b;
+	fill(&a, 11);
+	fill(&b, 31);
+	return a + b;
+}
+`)
+	got, err := in.RunMain(nil)
+	if err != nil || got != 42 {
+		t.Errorf("main = %d, %v", got, err)
+	}
+}
+
+// TestTernaryAndComma in program expressions.
+func TestTernaryAndComma(t *testing.T) {
+	_, in := load(t, `
+int f(int n) {
+	int a = 0, b = 0;
+	(a = n, b = n * 2);
+	return n > 5 ? a : b;
+}
+`)
+	if got, _ := in.CallInts("f", 10); got != 10 {
+		t.Errorf("f(10) = %d", got)
+	}
+	if got, _ := in.CallInts("f", 2); got != 4 {
+		t.Errorf("f(2) = %d", got)
+	}
+}
+
+// TestCScopingFieldAccess: in debuggee code, "n->v = v" must read the
+// PARAMETER v on the right side, as a C compiler would — the micro-C
+// interpreter runs with CScoping, unlike a faithful DUEL session.
+func TestCScopingFieldAccess(t *testing.T) {
+	_, in := load(t, `
+struct node { int v; struct node *next; };
+struct node *head;
+
+void push(int v) {
+	struct node *n;
+	n = (struct node *) malloc(sizeof(struct node));
+	n->v = v;          /* C semantics: RHS v is the parameter */
+	n->next = head;
+	head = n;
+}
+
+struct pt { int x, y; };
+struct pt mk(int x, int y) {
+	struct pt p;
+	p.x = x;
+	p.y = y;
+	return p;
+}
+
+int main() {
+	struct pt q;
+	push(41);
+	q = mk(20, 30);
+	return head->v + q.x / 20;
+}
+`)
+	got, err := in.RunMain(nil)
+	if err != nil || got != 42 {
+		t.Errorf("main = %d, %v (want 42: C field-access scoping)", got, err)
+	}
+}
+
+// TestFunctionPointers: taking function addresses, storing them in globals,
+// and calling through the pointer.
+func TestFunctionPointers(t *testing.T) {
+	_, in := load(t, `
+int twice(int n) { return 2 * n; }
+int thrice(int n) { return 3 * n; }
+
+int (*op)(int) = twice;
+int x = 10;
+int *px = &x;
+
+int apply(int n) { return op(n); }
+
+int main() {
+	int a = apply(5);        /* 10 */
+	op = thrice;
+	return a + apply(5) + *px;  /* 10 + 15 + 10 */
+}
+`)
+	got, err := in.RunMain(nil)
+	if err != nil || got != 35 {
+		t.Errorf("main = %d, %v (want 35)", got, err)
+	}
+}
+
+// TestAddressInitializers: & of earlier globals in initializers.
+func TestAddressInitializers(t *testing.T) {
+	p, in := load(t, `
+int a = 7;
+int *pa = &a;
+int **ppa = &pa;
+int arr[3] = {1, 2, 3};
+int *mid = &arr[1];
+
+int deref() { return **ppa + *mid; }
+`)
+	if got, err := in.CallInts("deref"); err != nil || got != 9 {
+		t.Errorf("deref = %d, %v", got, err)
+	}
+	_ = p
+}

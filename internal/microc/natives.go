@@ -1,0 +1,259 @@
+package microc
+
+import (
+	"fmt"
+	"strings"
+
+	"duel/internal/ctype"
+	"duel/internal/mem"
+	"duel/internal/target"
+)
+
+// RegisterNatives installs the runtime-provided functions (printf and a tiny
+// libc) into the process; it is idempotent. Note one deliberate deviation:
+// printf is declared void here, so "duel printf(...)" shows only the text
+// printf writes, matching the paper's example output.
+func RegisterNatives(p *target.Process) {
+	arch := p.Arch
+	charp := arch.Ptr(arch.Char)
+	voidp := arch.Ptr(arch.Void)
+	reg := func(name string, ret ctype.Type, params []ctype.Type, variadic bool,
+		impl func(p *target.Process, args []target.Datum) (target.Datum, error)) {
+		if _, exists := p.Function(name); exists {
+			return
+		}
+		f := &target.Func{
+			Name:   name,
+			Type:   arch.FuncOf(ret, params, variadic),
+			Native: impl,
+		}
+		if err := p.DefineFunc(f); err != nil {
+			panic(err) // text segment exhausted: configuration bug
+		}
+	}
+
+	reg("printf", arch.Void, []ctype.Type{charp}, true, nativePrintf)
+	reg("puts", arch.Void, []ctype.Type{charp}, false,
+		func(p *target.Process, args []target.Datum) (target.Datum, error) {
+			s, err := argString(p, args, 0)
+			if err != nil {
+				return target.Datum{}, err
+			}
+			fmt.Fprintln(p.Stdout, s)
+			return voidDatum(p), nil
+		})
+	reg("putchar", arch.Void, []ctype.Type{arch.Int}, false,
+		func(p *target.Process, args []target.Datum) (target.Datum, error) {
+			fmt.Fprintf(p.Stdout, "%c", byte(datumInt(args[0])))
+			return voidDatum(p), nil
+		})
+	reg("malloc", voidp, []ctype.Type{arch.UInt}, false,
+		func(p *target.Process, args []target.Datum) (target.Datum, error) {
+			n := int(datumInt(args[0]))
+			if n <= 0 {
+				n = 1
+			}
+			addr, err := p.Alloc(n, 8)
+			if err != nil {
+				return target.Datum{}, err
+			}
+			return target.Datum{Type: voidp, Bytes: mem.EncodeUint(addr, arch.PtrSize)}, nil
+		})
+	reg("calloc", voidp, []ctype.Type{arch.UInt, arch.UInt}, false,
+		func(p *target.Process, args []target.Datum) (target.Datum, error) {
+			n := int(datumInt(args[0])) * int(datumInt(args[1]))
+			if n <= 0 {
+				n = 1
+			}
+			addr, err := p.Alloc(n, 8)
+			if err != nil {
+				return target.Datum{}, err
+			}
+			return target.Datum{Type: voidp, Bytes: mem.EncodeUint(addr, arch.PtrSize)}, nil
+		})
+	reg("free", arch.Void, []ctype.Type{voidp}, false,
+		func(p *target.Process, args []target.Datum) (target.Datum, error) {
+			return voidDatum(p), nil // bump allocator: free is a no-op
+		})
+	reg("strlen", arch.Int, []ctype.Type{charp}, false,
+		func(p *target.Process, args []target.Datum) (target.Datum, error) {
+			s, err := argString(p, args, 0)
+			if err != nil {
+				return target.Datum{}, err
+			}
+			return intDatum(p, int64(len(s))), nil
+		})
+	reg("strcmp", arch.Int, []ctype.Type{charp, charp}, false,
+		func(p *target.Process, args []target.Datum) (target.Datum, error) {
+			a, err := argString(p, args, 0)
+			if err != nil {
+				return target.Datum{}, err
+			}
+			b, err := argString(p, args, 1)
+			if err != nil {
+				return target.Datum{}, err
+			}
+			return intDatum(p, int64(strings.Compare(a, b))), nil
+		})
+	reg("strcpy", charp, []ctype.Type{charp, charp}, false,
+		func(p *target.Process, args []target.Datum) (target.Datum, error) {
+			dst := uint64(datumInt(args[0]))
+			s, err := argString(p, args, 1)
+			if err != nil {
+				return target.Datum{}, err
+			}
+			if err := p.Space.Write(dst, append([]byte(s), 0)); err != nil {
+				return target.Datum{}, err
+			}
+			return target.Datum{Type: charp, Bytes: args[0].Bytes}, nil
+		})
+	reg("memset", voidp, []ctype.Type{voidp, arch.Int, arch.UInt}, false,
+		func(p *target.Process, args []target.Datum) (target.Datum, error) {
+			dst := uint64(datumInt(args[0]))
+			c := byte(datumInt(args[1]))
+			n := int(datumInt(args[2]))
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = c
+			}
+			if err := p.Space.Write(dst, b); err != nil {
+				return target.Datum{}, err
+			}
+			return target.Datum{Type: voidp, Bytes: args[0].Bytes}, nil
+		})
+	reg("assert", arch.Void, []ctype.Type{arch.Int}, false,
+		func(p *target.Process, args []target.Datum) (target.Datum, error) {
+			if datumInt(args[0]) == 0 {
+				return target.Datum{}, fmt.Errorf("microc: assertion failed")
+			}
+			return voidDatum(p), nil
+		})
+	reg("abs", arch.Int, []ctype.Type{arch.Int}, false,
+		func(p *target.Process, args []target.Datum) (target.Datum, error) {
+			v := datumInt(args[0])
+			if v < 0 {
+				v = -v
+			}
+			return intDatum(p, v), nil
+		})
+}
+
+func voidDatum(p *target.Process) target.Datum { return target.Datum{Type: p.Arch.Void} }
+
+func intDatum(p *target.Process, v int64) target.Datum {
+	return target.Datum{Type: p.Arch.Int, Bytes: mem.EncodeUint(uint64(v), p.Arch.Int.Size())}
+}
+
+// datumInt reads a datum as a (sign-extended when signed) integer.
+func datumInt(d target.Datum) int64 {
+	if ctype.IsSigned(d.Type) {
+		return mem.DecodeInt(d.Bytes)
+	}
+	return int64(mem.DecodeUint(d.Bytes))
+}
+
+func datumFloat(d target.Datum) float64 {
+	if ctype.IsFloat(d.Type) {
+		return mem.DecodeFloat(d.Bytes)
+	}
+	return float64(datumInt(d))
+}
+
+func argString(p *target.Process, args []target.Datum, i int) (string, error) {
+	if i >= len(args) {
+		return "", fmt.Errorf("microc: missing string argument %d", i)
+	}
+	addr := uint64(datumInt(args[i]))
+	if addr == 0 {
+		return "", fmt.Errorf("microc: NULL string argument")
+	}
+	s, ok := p.Space.ReadCString(addr, 1<<16)
+	if !ok {
+		return "", fmt.Errorf("microc: unterminated string at 0x%x", addr)
+	}
+	return s, nil
+}
+
+// nativePrintf implements a C printf subset: flags '-', '0', '+', ' ',
+// width, precision, the 'l' modifier, and conversions d i u o x X c s p
+// f e g and %%.
+func nativePrintf(p *target.Process, args []target.Datum) (target.Datum, error) {
+	format, err := argString(p, args, 0)
+	if err != nil {
+		return target.Datum{}, err
+	}
+	var sb strings.Builder
+	next := 1
+	pop := func() (target.Datum, error) {
+		if next >= len(args) {
+			return target.Datum{}, fmt.Errorf("microc: printf: too few arguments for format %q", format)
+		}
+		d := args[next]
+		next++
+		return d, nil
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			sb.WriteByte('%')
+			break
+		}
+		if format[i] == '%' {
+			sb.WriteByte('%')
+			continue
+		}
+		spec := "%"
+		for i < len(format) && strings.IndexByte("-+ 0#123456789.", format[i]) >= 0 {
+			spec += string(format[i])
+			i++
+		}
+		for i < len(format) && (format[i] == 'l' || format[i] == 'h') {
+			i++ // length modifiers are size-neutral here
+		}
+		if i >= len(format) {
+			return target.Datum{}, fmt.Errorf("microc: printf: truncated conversion in %q", format)
+		}
+		verb := format[i]
+		d, err := pop()
+		if err != nil {
+			return target.Datum{}, err
+		}
+		switch verb {
+		case 'd', 'i':
+			fmt.Fprintf(&sb, spec+"d", datumInt(d))
+		case 'u':
+			fmt.Fprintf(&sb, spec+"d", mem.DecodeUint(d.Bytes))
+		case 'o':
+			fmt.Fprintf(&sb, spec+"o", mem.DecodeUint(d.Bytes))
+		case 'x':
+			fmt.Fprintf(&sb, spec+"x", mem.DecodeUint(d.Bytes))
+		case 'X':
+			fmt.Fprintf(&sb, spec+"X", mem.DecodeUint(d.Bytes))
+		case 'c':
+			fmt.Fprintf(&sb, spec+"c", rune(byte(datumInt(d))))
+		case 'p':
+			fmt.Fprintf(&sb, "0x%x", mem.DecodeUint(d.Bytes))
+		case 's':
+			addr := uint64(datumInt(d))
+			s := "(null)"
+			if addr != 0 {
+				var ok bool
+				if s, ok = p.Space.ReadCString(addr, 1<<16); !ok {
+					s += "..."
+				}
+			}
+			fmt.Fprintf(&sb, spec+"s", s)
+		case 'f', 'e', 'g':
+			fmt.Fprintf(&sb, spec+string(verb), datumFloat(d))
+		default:
+			return target.Datum{}, fmt.Errorf("microc: printf: unsupported conversion %%%c", verb)
+		}
+	}
+	fmt.Fprint(p.Stdout, sb.String())
+	return voidDatum(p), nil
+}

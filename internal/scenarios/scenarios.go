@@ -1,0 +1,391 @@
+// Package scenarios builds the debuggee process images used throughout the
+// paper's examples: the compiler symbol-table hash, the linked list with a
+// duplicated value field, the binary tree, the searched arrays, and argv.
+// Each scenario is a micro-C program executed in the simulated target, so
+// the data DUEL inspects was laid out and linked by "real" running code.
+package scenarios
+
+import (
+	"fmt"
+	"io"
+
+	"duel/internal/ctype"
+	"duel/internal/debugger"
+	"duel/internal/microc"
+	"duel/internal/target"
+)
+
+// Scenario names.
+const (
+	Symtab     = "symtab"     // hash table with searchable heads (paper §Syntax)
+	Symtab2    = "symtab2"    // hash table with one scope-order violation at hash[287]
+	SymtabFull = "symtabfull" // hash table with every bucket non-empty
+	List       = "list"       // linked list with value duplicates (Introduction)
+	Tree       = "tree"       // binary tree (9, (3 (4) (5)), (12))
+	XSearch    = "xsearch"    // int x[60] for the range searches
+	XSmall     = "xsmall"     // int x[10] with outliers -9 and 120
+	Argv       = "argv"       // char **argv with 3 strings
+	BadPtr     = "badptr"     // pointer array with an invalid entry at index 48
+	PairXY     = "pairxy"     // two struct instances x and y with fields a, f, g
+	Chars      = "chars"      // char s[], char *sp
+)
+
+// All lists every scenario name.
+var All = []string{Symtab, Symtab2, SymtabFull, List, Tree, XSearch, XSmall, Argv, BadPtr, PairXY, Chars}
+
+// sources maps scenario names to their micro-C programs. Every program's
+// main() builds the data structures the paper queries.
+var sources = map[string]string{
+	Symtab: `
+struct symbol {
+	char *name;
+	int scope;
+	struct symbol *next;
+};
+
+struct symbol *hash[1024];
+
+void add(int b, char *name, int scope) {
+	struct symbol *s;
+	s = (struct symbol *) malloc(sizeof(struct symbol));
+	s->name = name;     /* C field-access scoping: RHS name is the parameter */
+	s->scope = scope;
+	s->next = hash[b];
+	hash[b] = s;
+}
+
+int main() {
+	/* hash[0]: scopes 4,3,2,1 from the head (decreasing). */
+	add(0, "d0", 1); add(0, "c0", 2); add(0, "b0", 3); add(0, "a0", 4);
+	/* The paper's named entries. */
+	add(1, "x", 3);
+	add(9, "abc", 2);
+	add(42, "deep", 7);
+	add(529, "deeper", 8);
+	/* A few unremarkable entries with scope <= 5. */
+	add(100, "m", 1);
+	add(200, "n", 4);
+	add(300, "o", 5);
+	return 0;
+}
+`,
+
+	SymtabFull: `
+struct symbol {
+	char *name;
+	int scope;
+	struct symbol *next;
+};
+
+struct symbol *hash[1024];
+
+int main() {
+	/* Every bucket holds one symbol, scopes 0..4 cyclically, so the
+	   paper's bulk update "hash[0..1023]->scope = 0 ;" never touches a
+	   null pointer. */
+	int i;
+	for (i = 0; i < 1024; i = i + 1) {
+		struct symbol *s;
+		s = (struct symbol *) malloc(sizeof(struct symbol));
+		s->name = "sym";
+		s->scope = i % 5;
+		s->next = 0;
+		hash[i] = s;
+	}
+	return 0;
+}
+`,
+
+	Symtab2: `
+struct symbol {
+	char *name;
+	int scope;
+	struct symbol *next;
+};
+
+struct symbol *hash[1024];
+
+void add(int b, char *name, int scope) {
+	struct symbol *s;
+	s = (struct symbol *) malloc(sizeof(struct symbol));
+	s->name = name;     /* C field-access scoping: RHS name is the parameter */
+	s->scope = scope;
+	s->next = hash[b];
+	hash[b] = s;
+}
+
+int main() {
+	/* hash[287] from the head: 9,9,8,8,7,7,6,6,5,6 — sorted decreasing
+	   except at index 8, where 5 < 6 (the bug DUEL finds). */
+	add(287, "s9", 6); add(287, "s8", 5); add(287, "s7", 6); add(287, "s6", 6);
+	add(287, "s5", 7); add(287, "s4", 7); add(287, "s3", 8); add(287, "s2", 8);
+	add(287, "s1", 9); add(287, "s0", 9);
+	/* A healthy decreasing list elsewhere. */
+	add(3, "t2", 1); add(3, "t1", 2); add(3, "t0", 3);
+	return 0;
+}
+`,
+
+	List: `
+struct node {
+	int value;
+	struct node *next;
+};
+
+struct node *head;
+struct node *L;
+
+void push(int v) {
+	struct node *n;
+	n = (struct node *) malloc(sizeof(struct node));
+	n->value = v;
+	n->next = 0;
+	if (head == 0) {
+		head = n;
+		L = n;
+		return;
+	}
+	{
+		struct node *p;
+		p = head;
+		while (p->next) p = p->next;
+		p->next = n;
+	}
+}
+
+int main() {
+	/* Index:  0   1   2   3   4   5   6   7   8   9  10  11
+	   Value: 41  17  19  33  27  29  55  61  23  27  31  37
+	   The only duplicated value is 27, at indices 4 and 9. */
+	push(41); push(17); push(19); push(33); push(27); push(29);
+	push(55); push(61); push(23); push(27); push(31); push(37);
+	return 0;
+}
+`,
+
+	Tree: `
+struct node {
+	int key;
+	struct node *left;
+	struct node *right;
+};
+
+struct node *root;
+
+struct node *mk(int key, struct node *left, struct node *right) {
+	struct node *n;
+	n = (struct node *) malloc(sizeof(struct node));
+	n->key = key;
+	n->left = left;
+	n->right = right;
+	return n;
+}
+
+int main() {
+	/* The paper's preorder (9, (3 (4) (5)), (12)). */
+	root = mk(9, mk(3, mk(4, 0, 0), mk(5, 0, 0)), mk(12, 0, 0));
+	return 0;
+}
+`,
+
+	XSearch: `
+int x[60];
+
+int main() {
+	/* Within the searched indices {1..4, 8, 12..50}, only three values
+	   fall strictly between 5 and 10: x[3]=7, x[18]=9, x[47]=6. */
+	int i;
+	for (i = 0; i < 60; i = i + 1)
+		x[i] = 0;
+	x[3] = 7;
+	x[18] = 9;
+	x[47] = 6;
+	x[0] = 12;   /* outside the searched index sets or value range */
+	x[5] = 11;
+	x[51] = 8;   /* right value, but index 51 is not searched */
+	return 0;
+}
+`,
+
+	XSmall: `
+int x[10];
+
+int main() {
+	int i;
+	for (i = 0; i < 10; i = i + 1)
+		x[i] = 10 * i;
+	x[3] = -9;
+	x[8] = 120;
+	return 0;
+}
+`,
+
+	Argv: `
+char **argv;
+int argc;
+
+int main(int ac, char **av) {
+	argc = ac;
+	argv = av;
+	return 0;
+}
+`,
+
+	BadPtr: `
+/* The paper's error-message example: ptr[..99]->val runs into an invalid
+   pointer at index 48 ("Illegal memory reference in ... ptr[48] ..."). */
+struct cell { int val; };
+struct cell *ptr[100];
+
+int main() {
+	int i;
+	for (i = 0; i < 100; i = i + 1) {
+		struct cell *c;
+		c = (struct cell *) malloc(sizeof(struct cell));
+		c->val = i;
+		ptr[i] = c;
+	}
+	ptr[48] = (struct cell *) 92192;    /* 0x16820, the paper's address */
+	return 0;
+}
+`,
+
+	PairXY: `
+/* The paper's §Design example "(x,y).a" and the with-alternation
+   "(alternate (name "x") (name "y")) (alternate (name "f") (name "g"))". */
+struct thing { int a; int f; int g; };
+struct thing x;
+struct thing y;
+
+int main() {
+	x.a = 1; x.f = 2; x.g = 3;
+	y.a = 4; y.f = 5; y.g = 6;
+	return 0;
+}
+`,
+
+	Chars: `
+char s[32];
+char *sp;
+
+int main() {
+	strcpy(s, "hello");
+	sp = s;
+	return 0;
+}
+`,
+}
+
+// Source returns the micro-C source of a scenario.
+func Source(name string) (string, bool) {
+	s, ok := sources[name]
+	return s, ok
+}
+
+// Build constructs a fresh process for the named scenario, runs its main,
+// and returns a debugger attached to it. Program output goes to stdout
+// (discarded if nil).
+func Build(name string, stdout io.Writer) (*debugger.Debugger, *microc.Interp, error) {
+	src, ok := sources[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("scenarios: unknown scenario %q", name)
+	}
+	cfg := target.Config{Model: 0, DataSize: 1 << 20, HeapSize: 1 << 20, StackSize: 1 << 18}
+	p, err := target.NewProcess(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if stdout != nil {
+		p.Stdout = stdout
+	}
+	d := debugger.New(p)
+	in, err := microc.Load(p, d, src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenarios: loading %q: %w", name, err)
+	}
+	var argv []string
+	if name == Argv {
+		argv = []string{"prog", "-v", "file"}
+	}
+	if _, err := in.RunMain(argv); err != nil {
+		return nil, nil, fmt.Errorf("scenarios: running %q: %w", name, err)
+	}
+	return d, in, nil
+}
+
+// MustBuild is Build for tests and examples.
+func MustBuild(name string, stdout io.Writer) *debugger.Debugger {
+	d, _, err := Build(name, stdout)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// BuildIntArray constructs a process holding "int x[n]" initialized by fill,
+// for the performance experiments (T3/T5/F1). It bypasses micro-C for speed.
+func BuildIntArray(n int, fill func(i int) int64) (*debugger.Debugger, error) {
+	need := 4*n + (1 << 16)
+	cfg := target.Config{Model: 0, DataSize: need, HeapSize: 1 << 16, StackSize: 1 << 16}
+	p, err := target.NewProcess(cfg)
+	if err != nil {
+		return nil, err
+	}
+	arr := p.Arch.ArrayOf(p.Arch.Int, n)
+	v, err := p.DefineGlobal("x", arr)
+	if err != nil {
+		return nil, err
+	}
+	seg := p.Data
+	base := int(v.Addr - seg.Base)
+	for i := 0; i < n; i++ {
+		x := uint32(fill(i))
+		off := base + 4*i
+		seg.Data[off] = byte(x)
+		seg.Data[off+1] = byte(x >> 8)
+		seg.Data[off+2] = byte(x >> 16)
+		seg.Data[off+3] = byte(x >> 24)
+	}
+	if _, err := p.DefineGlobal("i", p.Arch.Int); err != nil {
+		return nil, err
+	}
+	return debugger.New(p), nil
+}
+
+// BuildLongList constructs "struct node { int value; struct node *next; } *head"
+// as a chain of n heap nodes, bypassing micro-C for speed. It is the workload
+// for the symbolic-overhead experiment: -->-chain symbolic values grow with
+// depth, so their cost is visible here.
+func BuildLongList(n int) (*debugger.Debugger, error) {
+	cfg := target.Config{Model: 0, DataSize: 1 << 16, HeapSize: 16*n + (1 << 16), StackSize: 1 << 14}
+	p, err := target.NewProcess(cfg)
+	if err != nil {
+		return nil, err
+	}
+	node := p.DeclareStruct("node", false)
+	if err := p.Arch.SetFields(node, []ctype.FieldSpec{
+		{Name: "value", Type: p.Arch.Int},
+		{Name: "next", Type: p.Arch.Ptr(node)},
+	}); err != nil {
+		return nil, err
+	}
+	head, err := p.DefineGlobal("head", p.Arch.Ptr(node))
+	if err != nil {
+		return nil, err
+	}
+	prev := head.Addr // where to store the pointer to the next node
+	for i := 0; i < n; i++ {
+		addr, err := p.Alloc(node.Size(), node.Align())
+		if err != nil {
+			return nil, err
+		}
+		if err := p.PokeInt(prev, p.Arch.Ptr(node), int64(addr)); err != nil {
+			return nil, err
+		}
+		if err := p.PokeInt(addr, p.Arch.Int, int64(i)); err != nil {
+			return nil, err
+		}
+		prev = addr + 4 // offset of next
+	}
+	return debugger.New(p), nil
+}

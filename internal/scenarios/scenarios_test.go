@@ -1,0 +1,129 @@
+package scenarios
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAllScenariosBuild loads and runs every scenario program.
+func TestAllScenariosBuild(t *testing.T) {
+	for _, name := range All {
+		t.Run(name, func(t *testing.T) {
+			var out bytes.Buffer
+			d, in, err := Build(name, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d == nil || in == nil {
+				t.Fatal("nil debugger or interpreter")
+			}
+		})
+	}
+	if _, _, err := Build("nonsense", nil); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestScenarioInvariants spot-checks the data each catalog entry relies on.
+func TestScenarioInvariants(t *testing.T) {
+	d := MustBuild(Symtab, nil)
+	p := d.P
+	hash, ok := p.Global("hash")
+	if !ok {
+		t.Fatal("symtab: no hash")
+	}
+	// hash[42] non-null with scope 7.
+	ptr, err := p.PeekInt(hash.Addr+42*4, p.Arch.Ptr(p.Arch.Int))
+	if err != nil || ptr == 0 {
+		t.Fatalf("hash[42] = %#x, %v", ptr, err)
+	}
+	scope, err := p.PeekInt(uint64(ptr)+4, p.Arch.Int)
+	if err != nil || scope != 7 {
+		t.Errorf("hash[42]->scope = %d, %v", scope, err)
+	}
+
+	// List: 12 nodes, duplicate 27 at positions 4 and 9.
+	d = MustBuild(List, nil)
+	p = d.P
+	head, _ := p.Global("head")
+	addr, _ := p.PeekInt(head.Addr, head.Type)
+	var values []int64
+	for addr != 0 {
+		v, err := p.PeekInt(uint64(addr), p.Arch.Int)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values = append(values, v)
+		addr, _ = p.PeekInt(uint64(addr)+4, head.Type)
+	}
+	if len(values) != 12 || values[4] != 27 || values[9] != 27 || values[3] != 33 {
+		t.Errorf("list values = %v", values)
+	}
+
+	// Tree: root key 9.
+	d = MustBuild(Tree, nil)
+	p = d.P
+	root, _ := p.Global("root")
+	raddr, _ := p.PeekInt(root.Addr, root.Type)
+	if key, _ := p.PeekInt(uint64(raddr), p.Arch.Int); key != 9 {
+		t.Errorf("root key = %d", key)
+	}
+}
+
+func TestSourceAccess(t *testing.T) {
+	for _, name := range All {
+		if _, ok := Source(name); !ok {
+			t.Errorf("Source(%q) missing", name)
+		}
+	}
+	if _, ok := Source("nope"); ok {
+		t.Error("phantom source")
+	}
+}
+
+func TestBuildIntArray(t *testing.T) {
+	d, err := BuildIntArray(100, func(i int) int64 { return int64(i * i) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.P
+	x, ok := p.Global("x")
+	if !ok {
+		t.Fatal("no x")
+	}
+	if x.Type.Size() != 400 {
+		t.Errorf("x size = %d", x.Type.Size())
+	}
+	v, err := p.PeekInt(x.Addr+4*9, p.Arch.Int)
+	if err != nil || v != 81 {
+		t.Errorf("x[9] = %d, %v", v, err)
+	}
+	if _, ok := p.Global("i"); !ok {
+		t.Error("companion variable i missing")
+	}
+}
+
+func TestBuildLongList(t *testing.T) {
+	d, err := BuildLongList(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.P
+	head, _ := p.Global("head")
+	addr, _ := p.PeekInt(head.Addr, head.Type)
+	n := 0
+	for addr != 0 {
+		v, err := p.PeekInt(uint64(addr), p.Arch.Int)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int64(n) {
+			t.Fatalf("node %d value = %d", n, v)
+		}
+		addr, _ = p.PeekInt(uint64(addr)+4, head.Type)
+		n++
+	}
+	if n != 50 {
+		t.Errorf("list length = %d", n)
+	}
+}

@@ -1,0 +1,204 @@
+package duel_test
+
+import (
+	"strings"
+	"testing"
+
+	"duel"
+	"duel/internal/ctype"
+	"duel/internal/debugger"
+	"duel/internal/microc"
+	"duel/internal/scenarios"
+	"duel/internal/target"
+)
+
+func TestSessionOptions(t *testing.T) {
+	d := newArrayTarget(t)
+	// Unknown backend is rejected.
+	bad := duel.DefaultOptions()
+	bad.Backend = "quantum"
+	if _, err := duel.NewSession(d, bad); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	// Symbolic display off.
+	opts := duel.DefaultOptions()
+	opts.ShowSymbolic = false
+	s := duel.MustNewSession(d, opts)
+	var sb strings.Builder
+	if err := s.Exec(&sb, "x[2]"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "7" {
+		t.Errorf("non-symbolic output = %q", sb.String())
+	}
+}
+
+func TestSessionMaxOutput(t *testing.T) {
+	d := newArrayTarget(t)
+	opts := duel.DefaultOptions()
+	opts.MaxOutput = 3
+	s := duel.MustNewSession(d, opts)
+	var sb strings.Builder
+	err := s.Exec(&sb, "0..100")
+	if err == nil {
+		t.Fatal("truncation did not stop evaluation")
+	}
+	if !strings.Contains(sb.String(), "truncated") {
+		t.Errorf("no truncation marker:\n%s", sb.String())
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != 4 { // 3 values + marker
+		t.Errorf("printed %d lines", lines)
+	}
+}
+
+func TestResultLine(t *testing.T) {
+	cases := []struct {
+		r    duel.Result
+		want string
+	}{
+		{duel.Result{Sym: "x[3]", Text: "7"}, "x[3] = 7"},
+		{duel.Result{Sym: "7", Text: "7"}, "7"},
+		{duel.Result{Sym: "", Text: "9"}, "9"},
+	}
+	for _, c := range cases {
+		if got := c.r.Line(); got != c.want {
+			t.Errorf("Line = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAliasesPersistAndClear(t *testing.T) {
+	d := newArrayTarget(t)
+	s := duel.MustNewSession(d)
+	if _, err := s.Eval("m := 41"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Eval("m + 1")
+	if err != nil || len(res) != 1 || res[0].Text != "42" {
+		t.Fatalf("alias reuse: %v %v", res, err)
+	}
+	s.ClearAliases()
+	if _, err := s.Eval("m"); err == nil {
+		t.Error("alias survived ClearAliases")
+	}
+}
+
+func TestCountersExposed(t *testing.T) {
+	d := newArrayTarget(t)
+	s := duel.MustNewSession(d)
+	s.ResetCounters()
+	if _, err := s.Eval("(1..10)+1"); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Counters()
+	if c.Applies < 10 || c.Values == 0 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+// TestLP64EndToEnd runs a micro-C program and DUEL queries under the LP64
+// data model: 8-byte longs and pointers throughout.
+func TestLP64EndToEnd(t *testing.T) {
+	p := target.MustNewProcess(target.Config{Model: ctype.LP64, DataSize: 1 << 20, HeapSize: 1 << 20, StackSize: 1 << 16})
+	d := debugger.New(p)
+	in, err := microc.Load(p, d, `
+struct node { long v; struct node *next; };
+struct node *head;
+long big = 5000000000;
+
+void push(long val) {
+	struct node *n;
+	n = (struct node *) malloc(sizeof(struct node));
+	n->v = val;
+	n->next = head;
+	head = n;
+}
+int main() { push(1); push(2); push(3); return 0; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.RunMain(nil); err != nil {
+		t.Fatal(err)
+	}
+	s := duel.MustNewSession(d)
+
+	res, err := s.Eval("sizeof(struct node)")
+	if err != nil || len(res) != 1 || res[0].Text != "16" {
+		t.Fatalf("LP64 sizeof(struct node) = %v, %v (want 16)", res, err)
+	}
+	res, err = s.Eval("big")
+	if err != nil || res[0].Text != "5000000000" {
+		t.Fatalf("LP64 long value = %v, %v", res, err)
+	}
+	var lines []string
+	if err := s.EvalFunc("head-->next->v", func(r duel.Result) error {
+		lines = append(lines, r.Line())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"head->v = 3", "head->next->v = 2", "head->next->next->v = 1"}
+	if strings.Join(lines, "|") != strings.Join(want, "|") {
+		t.Errorf("LP64 list walk = %q", lines)
+	}
+}
+
+// TestErrorMessageFormat checks the paper's "Illegal memory reference"
+// message shape through the public API.
+func TestErrorMessageFormat(t *testing.T) {
+	d := newArrayTarget(t)
+	s := duel.MustNewSession(d)
+	_, err := s.Eval("((struct nothing *)8)->f")
+	if err == nil {
+		t.Skip("struct tag unknown; covered in debugger tests")
+	}
+	d2 := scenarios.MustBuild(scenarios.Symtab, nil)
+	s2 := duel.MustNewSession(d2)
+	_, err = s2.Eval("((struct symbol *)48)->scope")
+	if err == nil {
+		t.Fatal("dereference through invalid pointer succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "Illegal memory reference") || !strings.Contains(msg, "0x30") {
+		t.Errorf("message = %q", msg)
+	}
+}
+
+// TestNullGuardIdiom exercises the paper's "_ &&" guard: evaluating fields
+// through NULL errors, but guarding with _ does not.
+func TestNullGuardIdiom(t *testing.T) {
+	d := scenarios.MustBuild(scenarios.Symtab, nil)
+	s := duel.MustNewSession(d)
+	// Unguarded: hash[2] is NULL, field access faults.
+	if _, err := s.Eval("hash[2]->scope"); err == nil {
+		t.Error("field through NULL succeeded")
+	}
+	// Guarded: no error, no values.
+	res, err := s.Eval("hash[2]->(if (_ && scope > 5) name)")
+	if err != nil {
+		t.Errorf("guarded access failed: %v", err)
+	}
+	if len(res) != 0 {
+		t.Errorf("guarded access produced %v", res)
+	}
+}
+
+func TestLookupCacheOption(t *testing.T) {
+	d := newArrayTarget(t)
+	opts := duel.DefaultOptions()
+	opts.Eval.LookupCache = true
+	s := duel.MustNewSession(d, opts)
+	res, err := s.Eval("(1..5)+x[0]")
+	if err != nil || len(res) != 5 {
+		t.Fatalf("cached eval: %v, %v", res, err)
+	}
+	// Mutation between evals must be visible (the cache is per-eval).
+	if _, err := s.Eval("x[0] = 9"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Eval("x[0]")
+	if err != nil || res[0].Text != "9" {
+		t.Errorf("stale value after mutation: %v", res)
+	}
+}

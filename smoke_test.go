@@ -1,0 +1,74 @@
+package duel_test
+
+import (
+	"strings"
+	"testing"
+
+	"duel"
+	"duel/internal/debugger"
+	"duel/internal/target"
+)
+
+// newArrayTarget builds a process with "int x[10]" = {3, -1, 7, 0, 9, 2, -4, 8, 1, 6}.
+func newArrayTarget(t *testing.T) *debugger.Debugger {
+	t.Helper()
+	p := target.MustNewProcess(target.Config{Model: 0, DataSize: 1 << 20, HeapSize: 1 << 20, StackSize: 1 << 16})
+	arr := p.Arch.ArrayOf(p.Arch.Int, 10)
+	v, err := p.DefineGlobal("x", arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{3, -1, 7, 0, 9, 2, -4, 8, 1, 6}
+	for i, x := range vals {
+		if err := p.PokeInt(v.Addr+uint64(4*i), p.Arch.Int, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return debugger.New(p)
+}
+
+func evalLines(t *testing.T, s *duel.Session, src string) []string {
+	t.Helper()
+	var sb strings.Builder
+	if err := s.Exec(&sb, src); err != nil {
+		t.Fatalf("Exec(%q): %v", src, err)
+	}
+	out := strings.TrimRight(sb.String(), "\n")
+	if out == "" {
+		return nil
+	}
+	return strings.Split(out, "\n")
+}
+
+func TestSmoke(t *testing.T) {
+	d := newArrayTarget(t)
+	s := duel.MustNewSession(d)
+
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{"1 + (double)3/2", []string{"1+(double)3/2 = 2.5"}},
+		{"(1,2,5)*4+(10,200)", []string{
+			"1*4+10 = 14", "1*4+200 = 204",
+			"2*4+10 = 18", "2*4+200 = 208",
+			"5*4+10 = 30", "5*4+200 = 220",
+		}},
+		{"(3,11)+(5..7)", []string{
+			"3+5 = 8", "3+6 = 9", "3+7 = 10",
+			"11+5 = 16", "11+6 = 17", "11+7 = 18",
+		}},
+		{"x[0..3] >? 1", []string{"x[0] = 3", "x[2] = 7"}},
+		{"x[1..3] == 7", []string{"x[1]==7 = 0", "x[2]==7 = 1", "x[3]==7 = 0"}},
+		{"i := 1..3; i + 4", []string{"i+4 = 7"}},
+		{"i := 1..3 => {i} + 4", []string{"1+4 = 5", "2+4 = 6", "3+4 = 7"}},
+		{"#/(x[..10] >? 0)", []string{"7"}},
+		{"((1..9)*(1..9))[[52,74]]", []string{"6*8 = 48", "9*3 = 27"}},
+	}
+	for _, c := range cases {
+		got := evalLines(t, s, c.src)
+		if strings.Join(got, "|") != strings.Join(c.want, "|") {
+			t.Errorf("%q:\n got  %q\n want %q", c.src, got, c.want)
+		}
+	}
+}
