@@ -17,7 +17,7 @@
 //
 //	p := target.MustNewProcess(target.DefaultConfig)
 //	// ... define globals, or load a micro-C program ...
-//	s := duel.NewSession(debugger.New(p))
+//	s := duel.MustNewSession(debugger.New(p))
 //	s.Exec(os.Stdout, "(1..3)+(5,9)")
 package duel
 

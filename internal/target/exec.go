@@ -1,0 +1,168 @@
+package target
+
+import (
+	"fmt"
+
+	"duel/internal/ctype"
+	"duel/internal/mem"
+)
+
+// This file is the dynamic side of the process: heap allocation, the call
+// stack, function calls, and raw typed memory access.
+
+// --- heap ---
+
+// Alloc reserves n zeroed bytes with the given alignment in the heap — the
+// target-space allocator behind malloc and behind DUEL's own declarations
+// (dbgif.AllocTargetSpace). Exhaustion is an error; the heap never grows.
+func (p *Process) Alloc(n, align int) (uint64, error) {
+	return p.Heap.Alloc(n, align)
+}
+
+// NewCString allocates s in the heap as a NUL-terminated C string and
+// returns its address.
+func (p *Process) NewCString(s string) (uint64, error) {
+	addr, err := p.Alloc(len(s)+1, 1)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.Space.Write(addr, append([]byte(s), 0)); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// --- raw typed access ---
+
+// PeekInt reads one scalar of type t at addr, sign-extending signed types.
+// Pointer values are returned as their (unsigned) address bits in an int64.
+func (p *Process) PeekInt(addr uint64, t ctype.Type) (int64, error) {
+	n, err := scalarSize(t)
+	if err != nil {
+		return 0, err
+	}
+	b, err := p.Space.Read(addr, n)
+	if err != nil {
+		return 0, err
+	}
+	if ctype.IsSigned(t) {
+		return mem.DecodeInt(b), nil
+	}
+	return int64(mem.DecodeUint(b)), nil
+}
+
+// PokeInt stores the low bits of v as one scalar of type t at addr.
+func (p *Process) PokeInt(addr uint64, t ctype.Type, v int64) error {
+	n, err := scalarSize(t)
+	if err != nil {
+		return err
+	}
+	return p.Space.Write(addr, mem.EncodeUint(uint64(v), n))
+}
+
+func scalarSize(t ctype.Type) (int, error) {
+	if t == nil {
+		return 0, fmt.Errorf("target: nil type")
+	}
+	switch n := t.Size(); n {
+	case 1, 2, 4, 8:
+		return n, nil
+	default:
+		return 0, fmt.Errorf("target: %s is not a peekable scalar (%d bytes)", t, n)
+	}
+}
+
+// --- call stack ---
+
+// PushFrame pushes an activation record for f. Its locals will live in the
+// stack segment until the matching PopFrame.
+func (p *Process) PushFrame(f *Func) *Frame {
+	fr := &Frame{Func: f, Line: lineOf(f), mark: p.Stack.Used()}
+	p.frames = append(p.frames, fr)
+	return fr
+}
+
+func lineOf(f *Func) int {
+	if f == nil {
+		return 0
+	}
+	return f.Line
+}
+
+// PopFrame pops the innermost frame, releasing (and zeroing) its stack
+// storage so stale locals never leak into later frames.
+func (p *Process) PopFrame() error {
+	if len(p.frames) == 0 {
+		return fmt.Errorf("target: PopFrame on an empty stack")
+	}
+	fr := p.frames[len(p.frames)-1]
+	p.frames = p.frames[:len(p.frames)-1]
+	return p.Stack.Release(fr.mark)
+}
+
+// NumFrames reports the number of active frames.
+func (p *Process) NumFrames() int { return len(p.frames) }
+
+// FrameAt returns the frame at the given level, 0 being the innermost —
+// gdb's frame numbering.
+func (p *Process) FrameAt(level int) (*Frame, bool) {
+	if level < 0 || level >= len(p.frames) {
+		return nil, false
+	}
+	return p.frames[len(p.frames)-1-level], true
+}
+
+// AddLocal allocates zeroed stack storage for a local (or parameter) of
+// type t in fr and records it. A name re-declared in the same frame shadows
+// the earlier declaration, as in nested C blocks.
+func (p *Process) AddLocal(fr *Frame, name string, t ctype.Type) (Var, error) {
+	if fr == nil {
+		return Var{}, fmt.Errorf("target: AddLocal with nil frame")
+	}
+	if t == nil {
+		return Var{}, fmt.Errorf("target: local %q has nil type", name)
+	}
+	addr, err := p.Stack.Alloc(t.Size(), t.Align())
+	if err != nil {
+		return Var{}, fmt.Errorf("target: local %q: stack overflow: %w", name, err)
+	}
+	v := Var{Name: name, Type: t, Addr: addr}
+	fr.Locals = append(fr.Locals, v)
+	return v, nil
+}
+
+// --- calls ---
+
+// CallFunc invokes f with the given argument datums and returns its result
+// datum (a void datum for void functions). Native functions run directly;
+// interpreted bodies are routed through the CallBody hook, which owns the
+// frame discipline (push, bind parameters, execute, pop).
+func (p *Process) CallFunc(f *Func, args []Datum) (Datum, error) {
+	if f == nil {
+		return Datum{}, fmt.Errorf("target: call of nil function")
+	}
+	if f.Type != nil {
+		if len(args) < len(f.Type.Params) {
+			return Datum{}, fmt.Errorf("target: %q called with %d argument(s), wants %d", f.Name, len(args), len(f.Type.Params))
+		}
+		if !f.Type.Variadic && len(args) > len(f.Type.Params) {
+			return Datum{}, fmt.Errorf("target: %q called with %d argument(s), wants %d", f.Name, len(args), len(f.Type.Params))
+		}
+	}
+	if f.Native != nil {
+		return f.Native(p, args)
+	}
+	if p.CallBody == nil {
+		return Datum{}, fmt.Errorf("target: function %q has no native implementation and no interpreter is attached", f.Name)
+	}
+	return p.CallBody(p, f, args)
+}
+
+// Call invokes the named function.
+func (p *Process) Call(name string, args []Datum) (Datum, error) {
+	f, ok := p.Function(name)
+	if !ok {
+		return Datum{}, fmt.Errorf("target: no function %q", name)
+	}
+	return p.CallFunc(f, args)
+}

@@ -1,0 +1,226 @@
+package target
+
+import (
+	"fmt"
+
+	"duel/internal/ctype"
+)
+
+// This file is the process's debug symbol table: the globals, functions and
+// type tags a debugger would read from the executable's symbol and type
+// sections. All name lists are returned in declaration order, which is the
+// order the micro-C front end registered them — deterministic, like a
+// compiler's symbol table.
+
+// --- globals ---
+
+// DefineGlobal allocates zeroed storage for a global of type t in the data
+// segment and registers it.
+func (p *Process) DefineGlobal(name string, t ctype.Type) (Var, error) {
+	if name == "" {
+		return Var{}, fmt.Errorf("target: global with empty name")
+	}
+	if t == nil {
+		return Var{}, fmt.Errorf("target: global %q has nil type", name)
+	}
+	if _, exists := p.globals[name]; exists {
+		return Var{}, fmt.Errorf("target: global %q redefined", name)
+	}
+	addr, err := p.Data.Alloc(t.Size(), t.Align())
+	if err != nil {
+		return Var{}, fmt.Errorf("target: global %q: %w", name, err)
+	}
+	v := Var{Name: name, Type: t, Addr: addr}
+	p.globals[name] = v
+	p.globalNames = append(p.globalNames, name)
+	return v, nil
+}
+
+// Global resolves a global variable by name.
+func (p *Process) Global(name string) (Var, bool) {
+	v, ok := p.globals[name]
+	return v, ok
+}
+
+// Globals lists the global names in declaration order.
+func (p *Process) Globals() []string { return copyNames(p.globalNames) }
+
+// --- functions ---
+
+// DefineFunc assigns f an entry address in the text segment and registers
+// it. The address is what function-pointer values hold and what
+// FunctionAt resolves.
+func (p *Process) DefineFunc(f *Func) error {
+	if f == nil || f.Name == "" {
+		return fmt.Errorf("target: function with empty name")
+	}
+	if f.Type == nil {
+		return fmt.Errorf("target: function %q has nil type", f.Name)
+	}
+	if _, exists := p.funcs[f.Name]; exists {
+		return fmt.Errorf("target: function %q redefined", f.Name)
+	}
+	if f.Addr == 0 {
+		// Every function occupies one aligned slot so entry addresses
+		// are distinct and never alias another function's entry.
+		addr, err := p.Text.Alloc(funcSlot, funcSlot)
+		if err != nil {
+			return fmt.Errorf("target: function %q: text segment exhausted: %w", f.Name, err)
+		}
+		f.Addr = addr
+	}
+	if _, exists := p.funcAddrs[f.Addr]; exists {
+		return fmt.Errorf("target: functions share entry address 0x%x", f.Addr)
+	}
+	p.funcs[f.Name] = f
+	p.funcAddrs[f.Addr] = f
+	p.funcNames = append(p.funcNames, f.Name)
+	return nil
+}
+
+// funcSlot is the size reserved per function entry in the text segment.
+const funcSlot = 16
+
+// Function resolves a function by name.
+func (p *Process) Function(name string) (*Func, bool) {
+	f, ok := p.funcs[name]
+	return f, ok
+}
+
+// FunctionAt resolves a function by its entry address.
+func (p *Process) FunctionAt(addr uint64) (*Func, bool) {
+	f, ok := p.funcAddrs[addr]
+	return f, ok
+}
+
+// Functions lists the function names in definition order.
+func (p *Process) Functions() []string { return copyNames(p.funcNames) }
+
+// --- typedefs ---
+
+// DefineTypedef registers a typedef of t under name.
+func (p *Process) DefineTypedef(name string, t ctype.Type) (*ctype.Typedef, error) {
+	if name == "" {
+		return nil, fmt.Errorf("target: typedef with empty name")
+	}
+	if t == nil {
+		return nil, fmt.Errorf("target: typedef %q of nil type", name)
+	}
+	if prev, exists := p.typedefs[name]; exists {
+		// C allows exact re-declaration of a typedef.
+		if ctype.Equal(prev.Under, t) {
+			return prev, nil
+		}
+		return nil, fmt.Errorf("target: typedef %q redefined with a different type", name)
+	}
+	td := &ctype.Typedef{Name: name, Under: t}
+	p.typedefs[name] = td
+	p.typedefNames = append(p.typedefNames, name)
+	return td, nil
+}
+
+// Typedef resolves a typedef by name.
+func (p *Process) Typedef(name string) (*ctype.Typedef, bool) {
+	td, ok := p.typedefs[name]
+	return td, ok
+}
+
+// TypedefNames lists the typedef names in declaration order.
+func (p *Process) TypedefNames() []string { return copyNames(p.typedefNames) }
+
+// --- struct and union tags ---
+
+// DeclareStruct returns the struct or union type with the given tag,
+// creating an incomplete shell if the tag is new — the forward-declaration
+// step that makes self-referential types ("struct node { ... *next; }")
+// possible. Complete the shell with Arch.SetFields.
+func (p *Process) DeclareStruct(tag string, union bool) *ctype.Struct {
+	if s, ok := p.Struct(tag, union); ok {
+		return s
+	}
+	s := p.Arch.NewStruct(tag, union)
+	if union {
+		p.unions[tag] = s
+		p.unionTags = append(p.unionTags, tag)
+	} else {
+		p.structs[tag] = s
+		p.structTags = append(p.structTags, tag)
+	}
+	return s
+}
+
+// Struct resolves a struct (union=false) or union (union=true) tag.
+func (p *Process) Struct(tag string, union bool) (*ctype.Struct, bool) {
+	if union {
+		s, ok := p.unions[tag]
+		return s, ok
+	}
+	s, ok := p.structs[tag]
+	return s, ok
+}
+
+// StructTags lists the struct (union=false) or union (union=true) tags in
+// declaration order.
+func (p *Process) StructTags(union bool) []string {
+	if union {
+		return copyNames(p.unionTags)
+	}
+	return copyNames(p.structTags)
+}
+
+// --- enums ---
+
+// DefineEnum registers an enum type: its tag (when named) and all of its
+// enumeration constants, which live in one flat namespace as in C.
+func (p *Process) DefineEnum(en *ctype.Enum) error {
+	if en == nil {
+		return fmt.Errorf("target: nil enum")
+	}
+	if en.Tag != "" {
+		if _, exists := p.enums[en.Tag]; exists {
+			return fmt.Errorf("target: enum %q redefined", en.Tag)
+		}
+	}
+	for _, c := range en.Consts {
+		if prev, exists := p.consts[c.Name]; exists && prev != en {
+			return fmt.Errorf("target: enumeration constant %q redefined", c.Name)
+		}
+	}
+	if en.Tag != "" {
+		p.enums[en.Tag] = en
+		p.enumTags = append(p.enumTags, en.Tag)
+	}
+	for _, c := range en.Consts {
+		p.consts[c.Name] = en
+	}
+	return nil
+}
+
+// Enum resolves an enum tag.
+func (p *Process) Enum(tag string) (*ctype.Enum, bool) {
+	e, ok := p.enums[tag]
+	return e, ok
+}
+
+// EnumTags lists the enum tags in declaration order.
+func (p *Process) EnumTags() []string { return copyNames(p.enumTags) }
+
+// EnumConst resolves an enumeration constant by name, returning its enum
+// type and value.
+func (p *Process) EnumConst(name string) (ctype.Type, int64, bool) {
+	en, ok := p.consts[name]
+	if !ok {
+		return nil, 0, false
+	}
+	v, ok := en.Lookup(name)
+	if !ok {
+		return nil, 0, false
+	}
+	return en, v, true
+}
+
+func copyNames(names []string) []string {
+	out := make([]string, len(names))
+	copy(out, names)
+	return out
+}

@@ -1,0 +1,245 @@
+// Package target simulates the debuggee process beneath the mini-debugger:
+// the machine-dependent "nub" under a portable debugger, in the sense of
+// Ramsey's machine-independent-debugger design. Where the original DUEL
+// hooked gdb onto a live C process, this package provides the equivalent
+// substrate in-process: a sparse, fault-checked address space
+// (internal/mem) laid out under real C rules (internal/ctype), typed
+// symbol tables (globals, functions, typedefs, struct/union/enum tags),
+// a call stack of typed frames, a bump-allocated heap, and callable
+// functions — native Go implementations or micro-C bodies run by an
+// attached interpreter through the CallBody hook.
+//
+// A Process is everything internal/debugger needs to implement the paper's
+// narrow two-way interface (internal/dbgif): it answers symbol lookups,
+// serves memory reads and writes with "Illegal memory reference" faults at
+// unmapped addresses, allocates target space for DUEL declarations, and
+// calls target functions with typed argument/result datums.
+package target
+
+import (
+	"fmt"
+	"io"
+
+	"duel/internal/ctype"
+	"duel/internal/mem"
+)
+
+// Config sizes a fresh process image. The zero value of any field selects
+// the corresponding DefaultConfig value, so Config{} is usable as-is.
+type Config struct {
+	// Model is the C data model (ctype.ILP32 or ctype.LP64).
+	Model ctype.Model
+	// TextSize is the size of the (read-only) text segment, which only
+	// provides distinct entry addresses for functions.
+	TextSize int
+	// DataSize is the size of the data segment holding globals.
+	DataSize int
+	// HeapSize is the size of the heap segment behind Alloc/malloc.
+	HeapSize int
+	// StackSize is the size of the stack segment holding frame locals.
+	StackSize int
+}
+
+// DefaultConfig is a medium-sized ILP32 image, enough for every scenario
+// and example in this repository.
+var DefaultConfig = Config{
+	Model:     ctype.ILP32,
+	TextSize:  1 << 16,
+	DataSize:  1 << 20,
+	HeapSize:  1 << 20,
+	StackSize: 1 << 18,
+}
+
+// Datum is a typed value in target representation: the C type plus the raw
+// little-endian bytes of one object of that type. It is the unit crossing
+// the process boundary in function calls, mirroring dbgif.Value on the
+// engine side.
+type Datum struct {
+	Type  ctype.Type
+	Bytes []byte
+}
+
+// Var is one named, typed storage location: a global or a frame local.
+type Var struct {
+	Name string
+	Type ctype.Type
+	Addr uint64
+}
+
+// Func is one target function. Exactly one of Native and Body is normally
+// set: Native functions are implemented in Go (the tiny libc), Body carries
+// an interpreter-owned definition (a *cparse.FuncDef) executed through the
+// process's CallBody hook.
+type Func struct {
+	Name string
+	Type *ctype.Func
+	// Addr is the function's entry address in the text segment; it is
+	// assigned by DefineFunc.
+	Addr uint64
+	// Params names the parameters, for frame construction and display.
+	Params []string
+	// Body is the interpreter's representation of the function body.
+	Body any
+	// Line is the source line of the definition.
+	Line int
+	// Native, when set, implements the function in Go.
+	Native func(p *Process, args []Datum) (Datum, error)
+}
+
+// Frame is one activation record on the simulated call stack.
+type Frame struct {
+	Func *Func
+	// Locals lists parameters and block locals in declaration order;
+	// later declarations of the same name shadow earlier ones.
+	Locals []Var
+	// Line is the source line currently executing in this frame. It
+	// starts at the function's definition line and is advanced by the
+	// interpreter statement by statement.
+	Line int
+
+	// mark is the stack-segment watermark to release on pop.
+	mark int
+}
+
+// Local resolves name among the frame's locals, innermost declaration
+// first, so re-declarations in nested blocks shadow as in C.
+func (fr *Frame) Local(name string) (Var, bool) {
+	for i := len(fr.Locals) - 1; i >= 0; i-- {
+		if fr.Locals[i].Name == name {
+			return fr.Locals[i], true
+		}
+	}
+	return Var{}, false
+}
+
+// Process is a simulated target process: address space, symbol tables,
+// heap, call stack, and callable functions.
+type Process struct {
+	// Arch fixes the data model; all types in the process come from it.
+	Arch *ctype.Arch
+	// Space is the process's sparse address space.
+	Space *mem.Space
+	// Text, Data, Heap and Stack are the four segments of Space.
+	Text  *mem.Segment
+	Data  *mem.Segment
+	Heap  *mem.Segment
+	Stack *mem.Segment
+	// Stdout receives the output of native functions such as printf.
+	Stdout io.Writer
+	// CallBody, when set by an interpreter, runs a non-native function's
+	// Body. CallFunc routes every call with a nil Native through it.
+	CallBody func(p *Process, f *Func, args []Datum) (Datum, error)
+
+	globals     map[string]Var
+	globalNames []string
+
+	funcs     map[string]*Func
+	funcAddrs map[uint64]*Func
+	funcNames []string
+
+	typedefs     map[string]*ctype.Typedef
+	typedefNames []string
+
+	structs    map[string]*ctype.Struct
+	structTags []string
+	unions     map[string]*ctype.Struct
+	unionTags  []string
+
+	enums    map[string]*ctype.Enum
+	enumTags []string
+	// consts maps enumeration-constant names to their enum type.
+	consts map[string]*ctype.Enum
+
+	frames []*Frame
+}
+
+// segment bases, in the style of the DECStation's ultrix memory map the
+// paper ran on: text at 0x400000, data at 0x10000000, heap and stack
+// following with a guard gap between them so an off-by-one walk off a
+// segment's end faults instead of silently crossing into the next segment.
+// Everything below the text base — including NULL and the paper's example
+// garbage pointer 0x16820 — is unmapped and raises "Illegal memory
+// reference" faults.
+const (
+	textBase   = 0x400000
+	dataBase   = 0x10000000
+	segmentGap = 0x1000
+)
+
+// NewProcess builds an empty process image for the given configuration.
+func NewProcess(cfg Config) (*Process, error) {
+	def := DefaultConfig
+	if cfg.TextSize == 0 {
+		cfg.TextSize = def.TextSize
+	}
+	if cfg.DataSize == 0 {
+		cfg.DataSize = def.DataSize
+	}
+	if cfg.HeapSize == 0 {
+		cfg.HeapSize = def.HeapSize
+	}
+	if cfg.StackSize == 0 {
+		cfg.StackSize = def.StackSize
+	}
+	if cfg.Model != ctype.ILP32 && cfg.Model != ctype.LP64 {
+		return nil, fmt.Errorf("target: unknown data model %v", cfg.Model)
+	}
+	for _, s := range []struct {
+		name string
+		size int
+	}{{"text", cfg.TextSize}, {"data", cfg.DataSize}, {"heap", cfg.HeapSize}, {"stack", cfg.StackSize}} {
+		if s.size < 0 {
+			return nil, fmt.Errorf("target: negative %s segment size %d", s.name, s.size)
+		}
+	}
+	p := &Process{
+		Arch:      ctype.New(cfg.Model),
+		Space:     mem.NewSpace(),
+		Stdout:    io.Discard,
+		globals:   map[string]Var{},
+		funcs:     map[string]*Func{},
+		funcAddrs: map[uint64]*Func{},
+		typedefs:  map[string]*ctype.Typedef{},
+		structs:   map[string]*ctype.Struct{},
+		unions:    map[string]*ctype.Struct{},
+		enums:     map[string]*ctype.Enum{},
+		consts:    map[string]*ctype.Enum{},
+	}
+	base := uint64(textBase)
+	add := func(name string, size int, writable bool) (*mem.Segment, error) {
+		seg, err := p.Space.AddSegment(name, base, size, writable)
+		if err != nil {
+			return nil, err
+		}
+		base = alignUp(seg.End()+segmentGap, segmentGap)
+		return seg, nil
+	}
+	var err error
+	if p.Text, err = add("text", cfg.TextSize, false); err != nil {
+		return nil, err
+	}
+	if p.Data, err = add("data", cfg.DataSize, true); err != nil {
+		return nil, err
+	}
+	if p.Heap, err = add("heap", cfg.HeapSize, true); err != nil {
+		return nil, err
+	}
+	if p.Stack, err = add("stack", cfg.StackSize, true); err != nil {
+		return nil, err
+	}
+	if cfg.Model == ctype.ILP32 && p.Stack.End() > 1<<32 {
+		return nil, fmt.Errorf("target: image of %d bytes does not fit the ILP32 address space", p.Stack.End())
+	}
+	return p, nil
+}
+
+// MustNewProcess is NewProcess for tests and examples.
+func MustNewProcess(cfg Config) *Process {
+	p, err := NewProcess(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func alignUp(n, a uint64) uint64 { return (n + a - 1) / a * a }

@@ -1,0 +1,299 @@
+package target
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"duel/internal/ctype"
+	"duel/internal/mem"
+)
+
+// TestProcessLayout checks the overall image: segments in order with guard
+// gaps, NULL and the paper's example garbage pointer unmapped.
+func TestProcessLayout(t *testing.T) {
+	p := MustNewProcess(DefaultConfig)
+	segs := []*mem.Segment{p.Text, p.Data, p.Heap, p.Stack}
+	for i, seg := range segs {
+		if seg == nil {
+			t.Fatalf("segment %d is nil", i)
+		}
+		if i > 0 && seg.Base < segs[i-1].End()+segmentGap {
+			t.Errorf("segment %q at 0x%x lacks a guard gap after %q ending 0x%x",
+				seg.Name, seg.Base, segs[i-1].Name, segs[i-1].End())
+		}
+	}
+	for _, addr := range []uint64{0, 0x30, 0x16820} {
+		if p.Space.Valid(addr, 1) {
+			t.Errorf("address 0x%x should be unmapped", addr)
+		}
+	}
+	if p.Stack.End() > 1<<32 {
+		t.Errorf("ILP32 image ends at 0x%x, beyond the 32-bit address space", p.Stack.End())
+	}
+
+	if _, err := NewProcess(Config{Model: ctype.Model(99)}); err == nil {
+		t.Error("NewProcess accepted an unknown data model")
+	}
+	if _, err := NewProcess(Config{Model: ctype.ILP32, HeapSize: -1}); err == nil {
+		t.Error("NewProcess accepted a negative segment size")
+	}
+	if _, err := NewProcess(Config{Model: ctype.ILP32, DataSize: 1 << 31, HeapSize: 1 << 31}); err == nil {
+		t.Error("NewProcess accepted an image overflowing the ILP32 address space")
+	}
+}
+
+// TestGlobalLayout checks that globals land in the data segment under real
+// C layout rules: struct padding, array sizing, and per-type alignment.
+func TestGlobalLayout(t *testing.T) {
+	p := MustNewProcess(DefaultConfig)
+	a := p.Arch
+
+	// One char first so the next global needs alignment padding.
+	if _, err := p.DefineGlobal("c", a.Char); err != nil {
+		t.Fatal(err)
+	}
+
+	// struct { char tag; int n; short s; } — classic padding: tag at 0,
+	// 3 bytes of padding, n at 4, s at 8, tail-padded to 12.
+	st, err := a.StructOf("padded",
+		ctype.FieldSpec{Name: "tag", Type: a.Char},
+		ctype.FieldSpec{Name: "n", Type: a.Int},
+		ctype.FieldSpec{Name: "s", Type: a.Short},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 12 || st.Align() != 4 {
+		t.Fatalf("struct padded: size %d align %d, want 12 and 4", st.Size(), st.Align())
+	}
+	sv, err := p.DefineGlobal("sv", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Addr%4 != 0 {
+		t.Errorf("struct global at 0x%x is not 4-aligned", sv.Addr)
+	}
+
+	av, err := p.DefineGlobal("arr", a.ArrayOf(a.Int, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av.Type.Size() != 40 {
+		t.Errorf("int[10] sized %d, want 40", av.Type.Size())
+	}
+	if av.Addr < sv.Addr+uint64(st.Size()) {
+		t.Errorf("arr at 0x%x overlaps sv [0x%x,0x%x)", av.Addr, sv.Addr, sv.Addr+uint64(st.Size()))
+	}
+
+	for _, v := range []Var{sv, av} {
+		if v.Addr < p.Data.Base || v.Addr+uint64(v.Type.Size()) > p.Data.End() {
+			t.Errorf("global %q at 0x%x is outside the data segment", v.Name, v.Addr)
+		}
+	}
+
+	// Fresh storage reads as zero.
+	b, err := p.Space.Read(av.Addr, av.Type.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range b {
+		if x != 0 {
+			t.Fatalf("byte %d of fresh global is 0x%x, want 0", i, x)
+		}
+	}
+
+	if got := p.Globals(); len(got) != 3 || got[0] != "c" || got[1] != "sv" || got[2] != "arr" {
+		t.Errorf("Globals() = %v, want declaration order [c sv arr]", got)
+	}
+	if _, err := p.DefineGlobal("c", a.Int); err == nil {
+		t.Error("redefining a global should fail")
+	}
+}
+
+// TestFrames checks push/pop with locals: declaration order, shadowing,
+// innermost-first FrameAt, and that popped stack storage is zeroed before
+// reuse.
+func TestFrames(t *testing.T) {
+	p := MustNewProcess(DefaultConfig)
+	a := p.Arch
+	f := &Func{Name: "f", Type: a.FuncOf(a.Int, nil, false), Line: 7}
+	if err := p.DefineFunc(f); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := p.PushFrame(f)
+	if fr.Line != 7 {
+		t.Errorf("fresh frame at line %d, want the definition line 7", fr.Line)
+	}
+	x1, err := p.AddLocal(fr, "x", a.Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddLocal(fr, "y", a.Char); err != nil {
+		t.Fatal(err)
+	}
+	x2, err := p.AddLocal(fr, "x", a.Long) // inner-block shadow
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := fr.Local("x"); !ok || got.Addr != x2.Addr {
+		t.Errorf("Local(x) = %+v, want the shadowing declaration at 0x%x", got, x2.Addr)
+	}
+	if len(fr.Locals) != 3 || fr.Locals[0].Addr != x1.Addr {
+		t.Errorf("Locals = %+v, want 3 entries in declaration order", fr.Locals)
+	}
+
+	if err := p.PokeInt(x1.Addr, a.Int, -42); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := p.PeekInt(x1.Addr, a.Int); err != nil || v != -42 {
+		t.Errorf("PeekInt = %d, %v; want -42 (sign-extended)", v, err)
+	}
+
+	inner := p.PushFrame(f)
+	if got, ok := p.FrameAt(0); !ok || got != inner {
+		t.Error("FrameAt(0) is not the innermost frame")
+	}
+	if got, ok := p.FrameAt(1); !ok || got != fr {
+		t.Error("FrameAt(1) is not the caller")
+	}
+	if p.NumFrames() != 2 {
+		t.Errorf("NumFrames = %d, want 2", p.NumFrames())
+	}
+	if err := p.PopFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PopFrame(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The popped storage must come back zeroed.
+	fr2 := p.PushFrame(f)
+	z, err := p.AddLocal(fr2, "z", a.Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Addr != x1.Addr {
+		t.Errorf("reused stack slot at 0x%x, want 0x%x", z.Addr, x1.Addr)
+	}
+	if v, err := p.PeekInt(z.Addr, a.Int); err != nil || v != 0 {
+		t.Errorf("reused stack slot reads %d, %v; want zeroed storage", v, err)
+	}
+	if err := p.PopFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PopFrame(); err == nil {
+		t.Error("PopFrame on an empty stack should fail")
+	}
+}
+
+// TestAllocFaults checks heap exhaustion and faults at segment boundaries.
+func TestAllocFaults(t *testing.T) {
+	p := MustNewProcess(Config{Model: ctype.ILP32, HeapSize: 64})
+	if _, err := p.Alloc(48, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(32, 8); err == nil {
+		t.Error("Alloc beyond the heap size should fail")
+	}
+	// The remaining 16 bytes are still allocatable.
+	addr, err := p.Alloc(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr+16 != p.Heap.End() {
+		t.Fatalf("last allocation [0x%x,0x%x) does not end the heap 0x%x", addr, addr+16, p.Heap.End())
+	}
+
+	// One byte past the segment end faults; reads straddling the boundary
+	// fault rather than silently truncating.
+	if _, err := p.Space.Read(p.Heap.End(), 1); err == nil {
+		t.Error("read past the heap end should fault")
+	}
+	var f *mem.Fault
+	if _, err := p.Space.Read(p.Heap.End()-2, 4); !errors.As(err, &f) {
+		t.Errorf("straddling read got %v, want a *mem.Fault", err)
+	}
+	if err := p.Space.Write(p.Heap.End(), []byte{1}); err == nil {
+		t.Error("write past the heap end should fault")
+	}
+	// The text segment is mapped but read-only.
+	if err := p.Space.Write(p.Text.Base, []byte{1}); err == nil {
+		t.Error("write into the text segment should fault")
+	}
+
+	p = MustNewProcess(DefaultConfig)
+	s, err := p.NewCString("hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := p.Space.ReadCString(s, 16); !ok || got != "hi" {
+		t.Errorf("ReadCString = %q, %v; want \"hi\"", got, ok)
+	}
+}
+
+// TestCallFunc round-trips typed values through Datum for native functions,
+// checks argument-count enforcement, and exercises the CallBody hook.
+func TestCallFunc(t *testing.T) {
+	p := MustNewProcess(DefaultConfig)
+	a := p.Arch
+
+	add := &Func{
+		Name:   "add",
+		Type:   a.FuncOf(a.Int, []ctype.Type{a.Int, a.Int}, false),
+		Params: []string{"x", "y"},
+		Native: func(p *Process, args []Datum) (Datum, error) {
+			sum := mem.DecodeInt(args[0].Bytes) + mem.DecodeInt(args[1].Bytes)
+			return Datum{Type: a.Int, Bytes: mem.EncodeUint(uint64(sum), a.Int.Size())}, nil
+		},
+	}
+	if err := p.DefineFunc(add); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := p.FunctionAt(add.Addr); !ok || got != add {
+		t.Errorf("FunctionAt(0x%x) = %v, want add", add.Addr, got)
+	}
+
+	arg := func(v int64) Datum {
+		return Datum{Type: a.Int, Bytes: mem.EncodeUint(uint64(v), a.Int.Size())}
+	}
+	res, err := p.Call("add", []Datum{arg(40), arg(-38)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctype.Equal(res.Type, a.Int) || mem.DecodeInt(res.Bytes) != 2 {
+		t.Errorf("add(40,-38) = %s %d, want int 2", res.Type, mem.DecodeInt(res.Bytes))
+	}
+
+	if _, err := p.Call("add", []Datum{arg(1)}); err == nil {
+		t.Error("call with too few arguments should fail")
+	}
+	if _, err := p.Call("add", []Datum{arg(1), arg(2), arg(3)}); err == nil {
+		t.Error("call with too many arguments to a non-variadic function should fail")
+	}
+	if _, err := p.Call("nosuch", nil); err == nil {
+		t.Error("call of an undefined function should fail")
+	}
+
+	// A body-only function needs an interpreter.
+	body := &Func{Name: "interp", Type: a.FuncOf(a.Int, nil, false), Body: "stub"}
+	if err := p.DefineFunc(body); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Call("interp", nil); err == nil || !strings.Contains(err.Error(), "no interpreter") {
+		t.Errorf("body call without CallBody = %v, want a no-interpreter error", err)
+	}
+	called := false
+	p.CallBody = func(pp *Process, f *Func, args []Datum) (Datum, error) {
+		called = f == body && pp == p
+		return arg(99), nil
+	}
+	res, err = p.Call("interp", nil)
+	if err != nil || !called {
+		t.Fatalf("CallBody hook not used: %v (called=%v)", err, called)
+	}
+	if mem.DecodeInt(res.Bytes) != 99 {
+		t.Errorf("CallBody result %d, want 99", mem.DecodeInt(res.Bytes))
+	}
+}
