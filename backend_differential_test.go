@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"duel"
+	"duel/internal/core"
 	"duel/internal/ctype"
 	"duel/internal/dbgif"
 	"duel/internal/debugger"
@@ -183,6 +184,68 @@ func execQueries(t *testing.T, backend string, d dbgif.Debugger, queries []strin
 		out[i] = buf.String()
 	}
 	return out
+}
+
+// TestMemCacheDifferential runs the differential query list on every backend
+// with the page cache on and off. The cache must be observationally
+// transparent: byte-identical output AND an identical engine-side read trace
+// (the evaluator issues the same GetTargetBytes requests either way; only the
+// host round-trips below the accessor may differ).
+func TestMemCacheDifferential(t *testing.T) {
+	queries := []string{
+		"x[..10] >? 4",
+		"+/x[..10]",
+		"x[..10] @ (_ < 0)",
+		"head-->next->value",
+		"#/(head-->next)",
+		"head-->next->(value ==? 7)",
+		"twice(x[2..5])",
+		"(struct node *) 0 == 0",
+	}
+	for _, backend := range []string{"push", "machine", "chan"} {
+		t.Run(backend, func(t *testing.T) {
+			off, offCtrs := execQueriesCounted(t, backend, false, queries)
+			on, onCtrs := execQueriesCounted(t, backend, true, queries)
+			for i, q := range queries {
+				if off[i] != on[i] {
+					t.Errorf("query %q:\n cache off:\n%s\n cache on:\n%s", q, indent(off[i]), indent(on[i]))
+				}
+				if offCtrs[i].TargetReads != onCtrs[i].TargetReads || offCtrs[i].TargetBytes != onCtrs[i].TargetBytes {
+					t.Errorf("query %q: read trace diverged: off reads=%d bytes=%d, on reads=%d bytes=%d",
+						q, offCtrs[i].TargetReads, offCtrs[i].TargetBytes, onCtrs[i].TargetReads, onCtrs[i].TargetBytes)
+				}
+				// Cache off, every engine read is a host round-trip.
+				if offCtrs[i].HostReads != offCtrs[i].TargetReads {
+					t.Errorf("query %q: cache-off host reads %d != engine reads %d",
+						q, offCtrs[i].HostReads, offCtrs[i].TargetReads)
+				}
+			}
+		})
+	}
+}
+
+// execQueriesCounted is execQueries plus the per-query evaluation counters,
+// with the memory cache toggled explicitly.
+func execQueriesCounted(t *testing.T, backend string, cache bool, queries []string) ([]string, []core.Counters) {
+	t.Helper()
+	opts := duel.DefaultOptions()
+	opts.Backend = backend
+	opts.Eval.MemCache = cache
+	out := make([]string, len(queries))
+	ctrs := make([]core.Counters, len(queries))
+	for i, q := range queries {
+		ses, err := duel.NewSession(buildFakeDebuggee(t), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ses.Exec(&buf, q); err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		out[i] = buf.String()
+		ctrs[i] = ses.Counters()
+	}
+	return out, ctrs
 }
 
 // TestPaperCatalogAllBackends runs the full paper catalog on every evaluator

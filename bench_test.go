@@ -57,6 +57,7 @@ func benchQuery(b *testing.B, ses *duel.Session, query string, perValue bool) {
 	if err := ses.Backend.Eval(ses.Env, node, func(v value.Value) error { values++; return nil }); err != nil {
 		b.Fatal(err)
 	}
+	ses.Env.ResetCounters() // count only the timed evaluations below
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := ses.Backend.Eval(ses.Env, node, raw); err != nil {
@@ -102,13 +103,57 @@ func BenchmarkT1Catalog(b *testing.B) {
 	}
 }
 
+// benchSessionOpts builds a session over an int array of size n with the
+// caller's full option set (used by the memory-cache ablations).
+func benchSessionOpts(b *testing.B, n int, opts duel.Options) *duel.Session {
+	b.Helper()
+	d, err := scenarios.BuildIntArray(n, func(i int) int64 { return int64(i%7) - 3 })
+	if err != nil {
+		b.Fatal(err)
+	}
+	ses, err := duel.NewSession(d, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ses
+}
+
 // --- T3: the paper's timing example, x[..N] >? 0 ---
 
 func BenchmarkT3Scan(b *testing.B) {
 	for _, n := range []int{1000, 10000, 100000} {
-		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
-			ses := benchSession(b, n, "push", true)
-			benchQuery(b, ses, fmt.Sprintf("x[..%d] >? 0", n), true)
+		for _, cache := range []bool{false, true} {
+			b.Run(fmt.Sprintf("N=%d/cache=%v", n, cache), func(b *testing.B) {
+				opts := duel.DefaultOptions()
+				opts.Eval.MemCache = cache
+				ses := benchSessionOpts(b, n, opts)
+				benchQuery(b, ses, fmt.Sprintf("x[..%d] >? 0", n), true)
+				c := ses.Counters()
+				b.ReportMetric(float64(c.HostReads)/float64(b.N), "hostreads/op")
+			})
+		}
+	}
+}
+
+// BenchmarkT3ListWalk is the pointer-chasing counterpart of T3Scan: each
+// node costs one pointer load plus one value load, scattered by the
+// allocator rather than laid out sequentially.
+func BenchmarkT3ListWalk(b *testing.B) {
+	for _, cache := range []bool{false, true} {
+		b.Run(fmt.Sprintf("cache=%v", cache), func(b *testing.B) {
+			d, err := scenarios.BuildLongList(1000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := duel.DefaultOptions()
+			opts.Eval.MemCache = cache
+			ses, err := duel.NewSession(d, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchQuery(b, ses, "head-->next->value", false)
+			c := ses.Counters()
+			b.ReportMetric(float64(c.HostReads)/float64(b.N), "hostreads/op")
 		})
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"duel/internal/duel/display"
 	"duel/internal/duel/parser"
 	"duel/internal/duel/value"
+	"duel/internal/memio"
 )
 
 // Options configure a Session.
@@ -84,6 +85,28 @@ type Session struct {
 	opts    Options
 }
 
+// normalizeEval fills in the unset fields of caller-supplied evaluation
+// options. A wholly zero Eval means "use the defaults"; a partially set one
+// keeps every explicit field (Symbolic: false stays false) and only has its
+// zero-valued safety limits raised to the defaults, so a runaway "e.."
+// cannot hang a session that merely forgot to set a bound.
+func normalizeEval(o core.Options) core.Options {
+	d := core.DefaultOptions()
+	if o == (core.Options{}) {
+		return d
+	}
+	if o.MaxOpenRange == 0 {
+		o.MaxOpenRange = d.MaxOpenRange
+	}
+	if o.MaxExpand == 0 {
+		o.MaxExpand = d.MaxExpand
+	}
+	if o.MaxCStringLen == 0 {
+		o.MaxCStringLen = d.MaxCStringLen
+	}
+	return o
+}
+
 // NewSession attaches DUEL to the given debugger.
 func NewSession(d dbgif.Debugger, opts ...Options) (*Session, error) {
 	o := DefaultOptions()
@@ -92,9 +115,7 @@ func NewSession(d dbgif.Debugger, opts ...Options) (*Session, error) {
 		if o.Backend == "" {
 			o.Backend = "push"
 		}
-		if o.Eval.MaxOpenRange == 0 {
-			o.Eval = core.DefaultOptions()
-		}
+		o.Eval = normalizeEval(o.Eval)
 	}
 	b, err := core.GetBackend(o.Backend)
 	if err != nil {
@@ -156,19 +177,28 @@ func (s *Session) EvalNode(n *ast.Node, f func(Result) error) error {
 	})
 }
 
+// errTruncated is the internal sentinel that stops evaluation when Exec hits
+// MaxOutput. Truncation is not a failure: the marker line is printed and the
+// caller sees a nil error.
+var errTruncated = errors.New("duel: output truncated")
+
 // Exec evaluates a DUEL input and writes one line per value to w, exactly
-// like the gdb "duel" command.
+// like the gdb "duel" command. Hitting Options.MaxOutput prints a truncation
+// marker and returns nil.
 func (s *Session) Exec(w io.Writer, src string) error {
 	count := 0
 	err := s.EvalFunc(src, func(r Result) error {
 		count++
 		if s.opts.MaxOutput > 0 && count > s.opts.MaxOutput {
 			fmt.Fprintf(w, "... (output truncated at %d lines)\n", s.opts.MaxOutput)
-			return fmt.Errorf("duel: output truncated")
+			return errTruncated
 		}
 		_, err := fmt.Fprintln(w, r.Line())
 		return err
 	})
+	if errors.Is(err, errTruncated) {
+		return nil
+	}
 	return err
 }
 
@@ -177,8 +207,14 @@ func (s *Session) Exec(w io.Writer, src string) error {
 func (s *Session) ClearAliases() { s.Env.ClearAliases() }
 
 // Counters exposes the evaluation instrumentation (symbol lookups, operator
-// applications, symbolic compositions, values produced, memory loads).
-func (s *Session) Counters() core.Counters { return s.Env.Num }
+// applications, symbolic compositions, values produced, memory loads) merged
+// with the memory-layer traffic counters (target read requests, host
+// round-trips, cache hits/misses, invalidations).
+func (s *Session) Counters() core.Counters { return s.Env.Counters() }
+
+// Mem exposes the session's memory accessor — the single gateway all target
+// reads and writes go through (see internal/memio).
+func (s *Session) Mem() *memio.Accessor { return s.Env.Mem }
 
 // ResetCounters zeroes the instrumentation counters.
 func (s *Session) ResetCounters() { s.Env.ResetCounters() }

@@ -25,6 +25,7 @@ import (
 	"duel/internal/dbgif"
 	"duel/internal/duel/ast"
 	"duel/internal/duel/value"
+	"duel/internal/memio"
 )
 
 // Options control evaluation.
@@ -62,6 +63,19 @@ type Options struct {
 	MaxExpand int
 	// MaxCStringLen bounds string reads from the target.
 	MaxCStringLen int
+	// MemCache enables the page-granular target-read cache in the memio
+	// accessor every session routes its memory traffic through. Off by
+	// default (faithful to the paper: one engine read, one debugger
+	// round-trip); on, scans and list walks hit the host an order of
+	// magnitude less often. Writes, allocations and target calls
+	// invalidate, so values never go stale (see internal/memio).
+	MemCache bool
+	// MemCachePageSize is the cache granularity in bytes (0 = memio
+	// default; rounded up to a power of two).
+	MemCachePageSize int
+	// MemCachePages bounds the resident page count, LRU-evicted
+	// (0 = memio default).
+	MemCachePages int
 	// Trace, when non-nil, makes the machine backend log every eval call
 	// in the style of the paper's §Semantics walkthrough of
 	// (1..3)+(5,9): one line per produced value (or NOVALUE) per node,
@@ -82,13 +96,21 @@ func DefaultOptions() Options {
 }
 
 // Counters instrument evaluation; the F2 cost-breakdown experiment reads
-// them.
+// them. The memory-layer fields are merged in from the session's
+// memio.Accessor by Env.Counters.
 type Counters struct {
 	Lookups  int64 // symbol-table fetches (the paper's "100 lookups of i")
 	Applies  int64 // operator applications
 	SymOps   int64 // symbolic-value compositions
 	Values   int64 // values produced (all nodes)
 	MemReads int64 // lvalue loads
+
+	TargetReads   int64 // GetTargetBytes requests the engine issued
+	TargetBytes   int64 // bytes those requests asked for
+	HostReads     int64 // round-trips that actually reached the host debugger
+	CacheHits     int64 // memio page-cache hits
+	CacheMisses   int64 // memio page fills and uncached fallbacks
+	Invalidations int64 // pages dropped by writes, allocs and call flushes
 }
 
 // errStop is the internal sentinel used to terminate enumeration early
@@ -113,12 +135,17 @@ type withEntry struct {
 	badAddr uint64
 }
 
-// Env is the evaluation state for one DUEL session: the debugger interface,
-// aliases, DUEL-declared variables and the with name-resolution stack.
+// Env is the evaluation state for one DUEL session: the memory accessor
+// over the debugger interface, aliases, DUEL-declared variables and the
+// with name-resolution stack.
 type Env struct {
 	Ctx  *value.Ctx
 	Opts Options
 	Num  Counters
+	// Mem is the session's single gateway for target-memory traffic; it is
+	// the same accessor Ctx.D holds, so the value engine, the display layer
+	// and all three backends share its cache and counters.
+	Mem *memio.Accessor
 
 	aliases    map[string]value.Value
 	aliasOrder []string
@@ -129,19 +156,49 @@ type Env struct {
 	steps      int
 }
 
-// NewEnv returns a fresh environment over the given debugger.
+// NewEnv returns a fresh environment over the given debugger, routing all
+// target-memory traffic through a memio.Accessor built from opts. A debugger
+// that already is an Accessor is used as-is (its own cache config wins), so
+// sessions can share one accessor deliberately.
 func NewEnv(d dbgif.Debugger, opts Options) *Env {
+	acc, ok := d.(*memio.Accessor)
+	if !ok {
+		acc = memio.New(d, memio.Config{
+			Cache:    opts.MemCache,
+			PageSize: opts.MemCachePageSize,
+			MaxPages: opts.MemCachePages,
+		})
+	}
 	return &Env{
-		Ctx:       &value.Ctx{Arch: d.Arch(), D: d},
+		Ctx:       &value.Ctx{Arch: d.Arch(), D: acc},
 		Opts:      opts,
+		Mem:       acc,
 		aliases:   make(map[string]value.Value),
 		declAddrs: make(map[*ast.Node]uint64),
 		strAddrs:  make(map[*ast.Node]uint64),
 	}
 }
 
-// ResetCounters zeroes the instrumentation counters.
-func (e *Env) ResetCounters() { e.Num = Counters{} }
+// Counters returns the evaluation counters with the memory-layer traffic of
+// the session's accessor merged in.
+func (e *Env) Counters() Counters {
+	c := e.Num
+	s := e.Mem.Stats()
+	c.TargetReads = s.Reads
+	c.TargetBytes = s.ReadBytes
+	c.HostReads = s.HostReads
+	c.CacheHits = s.Hits
+	c.CacheMisses = s.Misses
+	c.Invalidations = s.Invalidations
+	return c
+}
+
+// ResetCounters zeroes the instrumentation counters, including the
+// memory-layer traffic counters.
+func (e *Env) ResetCounters() {
+	e.Num = Counters{}
+	e.Mem.ResetStats()
+}
 
 // beginEval prepares per-command state.
 func (e *Env) beginEval() {

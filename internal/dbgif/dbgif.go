@@ -15,6 +15,10 @@
 // implements it. internal/debugger implements it over the simulated target;
 // tests include an independent in-memory implementation to demonstrate the
 // interface is sufficient.
+//
+// Sessions do not call a Debugger's memory methods directly: internal/memio
+// wraps every Debugger in an Accessor (itself a Debugger) that adds typed
+// fault errors, per-session counters, and an optional page cache.
 package dbgif
 
 import "duel/internal/ctype"

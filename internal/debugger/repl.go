@@ -202,6 +202,8 @@ func (r *REPL) Command(line string) (quit bool, err error) {
 		c := r.Ses.Counters()
 		r.printf("lookups=%d applies=%d symops=%d values=%d memreads=%d\n",
 			c.Lookups, c.Applies, c.SymOps, c.Values, c.MemReads)
+		r.printf("mem: reads=%d hostreads=%d hits=%d misses=%d invalidations=%d\n",
+			c.TargetReads, c.HostReads, c.CacheHits, c.CacheMisses, c.Invalidations)
 		return false, nil
 	}
 	return false, fmt.Errorf("unknown command %q; try \"help\"", cmd)

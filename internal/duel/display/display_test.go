@@ -7,11 +7,12 @@ import (
 	"duel/internal/ctype"
 	"duel/internal/duel/value"
 	"duel/internal/fakedbg"
+	"duel/internal/memio"
 )
 
 func newPrinter() (*Printer, *fakedbg.Fake) {
 	f := fakedbg.New(ctype.ILP32, 1<<16)
-	ctx := &value.Ctx{Arch: f.A, D: f}
+	ctx := &value.Ctx{Arch: f.A, D: memio.New(f, memio.Config{})}
 	return New(ctx), f
 }
 
@@ -172,7 +173,7 @@ func TestBitfieldLineThroughPrinter(t *testing.T) {
 
 func TestLP64Pointers(t *testing.T) {
 	f := fakedbg.New(ctype.LP64, 1<<16)
-	p := New(&value.Ctx{Arch: f.A, D: f})
+	p := New(&value.Ctx{Arch: f.A, D: memio.New(f, memio.Config{})})
 	got, err := p.Format(value.MakePtr(f.A.Ptr(f.A.Int), 0x1234567890))
 	if err != nil || got != "0x1234567890" {
 		t.Errorf("LP64 pointer = %q, %v", got, err)

@@ -4,16 +4,17 @@
 // conversion rules, and the operator application functions ("about another
 // 1200 lines" in the original implementation).
 //
-// All target memory access goes through the narrow debugger interface
-// (internal/dbgif); the engine has no other channel to the debuggee.
+// All target memory access goes through the instrumented memio.Accessor
+// over the narrow debugger interface (internal/dbgif); the engine has no
+// other channel to the debuggee.
 package value
 
 import (
 	"fmt"
 
 	"duel/internal/ctype"
-	"duel/internal/dbgif"
 	"duel/internal/mem"
+	"duel/internal/memio"
 )
 
 // Symbolic precedence levels, used to parenthesize symbolic output
@@ -94,10 +95,13 @@ func (v Value) WithSym(s Sym) Value {
 }
 
 // Ctx carries what the value engine needs: the target's data model and the
-// debugger interface.
+// memory accessor over the debugger interface. Routing D through
+// *memio.Accessor (rather than a raw dbgif.Debugger) is what guarantees that
+// every target read and write of the engine is cached, counted and
+// fault-typed in one place.
 type Ctx struct {
 	Arch *ctype.Arch
-	D    dbgif.Debugger
+	D    *memio.Accessor
 }
 
 // MemError reports an invalid target access, carrying the offending

@@ -9,11 +9,12 @@ import (
 	"duel/internal/ctype"
 	"duel/internal/duel/ast"
 	"duel/internal/fakedbg"
+	"duel/internal/memio"
 )
 
 func newCtx() (*Ctx, *fakedbg.Fake) {
 	f := fakedbg.New(ctype.ILP32, 1<<16)
-	return &Ctx{Arch: f.A, D: f}, f
+	return &Ctx{Arch: f.A, D: memio.New(f, memio.Config{})}, f
 }
 
 func TestMakeAndExtract(t *testing.T) {

@@ -1,0 +1,406 @@
+// Package memio routes every byte of DUEL's target-memory traffic through
+// one instrumented Accessor. The paper's engine touches the debuggee only
+// through the narrow seven-function interface (duel_get_target_bytes & co.),
+// and its performance hinges on how many of those round-trips an expression
+// like x[..100000] >? 0 or a -->next list walk performs. Hanson's nub paper
+// (MSR-TR-99-4) draws the same conclusion for any narrow debugger interface:
+// batch and cache reads on the debugger side of the boundary instead of
+// sprinkling raw byte fetches through the evaluator.
+//
+// Accessor wraps a dbgif.Debugger and is itself a dbgif.Debugger, so every
+// layer above (core.Env, value.Ctx, display.Printer, the three evaluator
+// backends) holds an Accessor and cannot bypass it. It adds:
+//
+//   - a page-granular read cache (configurable page size, LRU-bounded entry
+//     count) with write-through invalidation on PutTargetBytes and
+//     AllocTargetSpace, and a conservative whole-cache flush around
+//     CallTargetFunc (a target call may mutate arbitrary memory);
+//   - typed fault errors (Fault{Addr, Len, Op}) replacing ad-hoc error
+//     strings, so --> expansion and the symbolic error messages can
+//     distinguish unmapped reads from short (partially mapped) reads;
+//   - per-session traffic counters (requests, bytes, round-trips, cache
+//     hits/misses, invalidations) that core.Counters merges for the F2
+//     cost-breakdown experiment.
+//
+// Caching is off by default — one engine request, one host round-trip —
+// which is faithful to the paper's implementation; core.Options.MemCache
+// turns it on. Symbol, type and frame lookups are delegated to the wrapped
+// debugger untouched: memio instruments memory, not symbols.
+package memio
+
+import (
+	"container/list"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"duel/internal/dbgif"
+)
+
+// Defaults used for Config fields left zero.
+const (
+	DefaultPageSize = 256
+	DefaultMaxPages = 1024
+)
+
+// Op identifies the interface operation a Fault arose from.
+type Op uint8
+
+const (
+	OpRead Op = iota
+	OpWrite
+	OpAlloc
+	OpCall
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAlloc:
+		return "alloc"
+	case OpCall:
+		return "call"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Kind classifies why a memory operation faulted.
+type Kind uint8
+
+const (
+	// KindUnmapped: the very first byte of the range is not mapped — the
+	// paper's garbage-pointer case (ptr[48] = lvalue 0x16820).
+	KindUnmapped Kind = iota
+	// KindShort: the range starts in mapped memory but runs off its end,
+	// e.g. a struct read straddling the last mapped byte.
+	KindShort
+	// KindOther: the host debugger failed for some other reason.
+	KindOther
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUnmapped:
+		return "unmapped"
+	case KindShort:
+		return "short"
+	}
+	return "failed"
+}
+
+// Fault is the typed error for a failed target-memory operation. It replaces
+// the host debuggers' ad-hoc error strings at the memio boundary; callers
+// that need to distinguish an unmapped read from a short read use errors.As
+// and inspect Kind.
+type Fault struct {
+	Addr uint64
+	Len  int
+	Op   Op
+	Kind Kind
+	Err  error // underlying host-debugger error, if any
+}
+
+func (f *Fault) Error() string {
+	s := fmt.Sprintf("memio: %s %s of %d bytes at 0x%x", f.Kind, f.Op, f.Len, f.Addr)
+	if f.Kind == KindOther && f.Err != nil {
+		s += ": " + f.Err.Error()
+	}
+	return s
+}
+
+func (f *Fault) Unwrap() error { return f.Err }
+
+// Config tunes an Accessor.
+type Config struct {
+	// Cache enables the page-granular read cache. Off is faithful to the
+	// paper: every engine read is one host round-trip.
+	Cache bool
+	// PageSize is the cache granularity in bytes; it is rounded up to a
+	// power of two. 0 means DefaultPageSize.
+	PageSize int
+	// MaxPages bounds the number of resident pages (LRU eviction).
+	// 0 means DefaultMaxPages.
+	MaxPages int
+}
+
+// Stats counts the memory traffic of one Accessor.
+type Stats struct {
+	Reads      int64 // read requests from the engine
+	ReadBytes  int64 // bytes those requests asked for
+	HostReads  int64 // GetTargetBytes round-trips issued to the host debugger
+	HostBytes  int64 // bytes those round-trips returned
+	Writes     int64 // write requests (all write-through)
+	WriteBytes int64
+
+	Hits          int64 // page-cache hits
+	Misses        int64 // page fills and uncached fallbacks
+	Evictions     int64 // pages dropped by the LRU bound
+	Invalidations int64 // pages dropped by writes, allocs and call flushes
+	Flushes       int64 // conservative whole-cache flushes (target calls)
+}
+
+// Accessor is the single gateway for target-memory traffic. It implements
+// dbgif.Debugger by wrapping one, so it can be handed to anything that
+// expects the narrow interface. It is safe for concurrent use as long as the
+// wrapped debugger tolerates the same access pattern.
+type Accessor struct {
+	dbgif.Debugger // host debugger; symbol/type/frame calls delegate to it
+
+	cfg   Config
+	mu    sync.Mutex
+	pages map[uint64]*list.Element
+	lru   *list.List // front = most recently used; elements hold *page
+	stats Stats
+}
+
+type page struct {
+	base uint64
+	data []byte
+}
+
+// New wraps d. The zero Config gives the faithful pass-through accessor:
+// no cache, but faults and counters still apply.
+func New(d dbgif.Debugger, cfg Config) *Accessor {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	cfg.PageSize = 1 << bits.Len(uint(cfg.PageSize-1)) // round up to 2^k
+	if cfg.MaxPages <= 0 {
+		cfg.MaxPages = DefaultMaxPages
+	}
+	a := &Accessor{Debugger: d, cfg: cfg}
+	if cfg.Cache {
+		a.pages = make(map[uint64]*list.Element)
+		a.lru = list.New()
+	}
+	return a
+}
+
+// Raw returns the wrapped host debugger.
+func (a *Accessor) Raw() dbgif.Debugger { return a.Debugger }
+
+// Caching reports whether the page cache is enabled.
+func (a *Accessor) Caching() bool { return a.cfg.Cache }
+
+// PageSize returns the cache granularity in bytes.
+func (a *Accessor) PageSize() int { return a.cfg.PageSize }
+
+// Stats returns a snapshot of the traffic counters.
+func (a *Accessor) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// ResetStats zeroes the traffic counters.
+func (a *Accessor) ResetStats() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats = Stats{}
+}
+
+// CachedPages reports the number of resident cache pages.
+func (a *Accessor) CachedPages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.lru == nil {
+		return 0
+	}
+	return a.lru.Len()
+}
+
+// Flush drops every cached page.
+func (a *Accessor) Flush() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.flushLocked()
+}
+
+func (a *Accessor) flushLocked() {
+	if a.lru == nil || a.lru.Len() == 0 {
+		return
+	}
+	a.stats.Invalidations += int64(a.lru.Len())
+	a.stats.Flushes++
+	a.pages = make(map[uint64]*list.Element)
+	a.lru.Init()
+}
+
+// GetTargetBytes implements dbgif.Debugger: reads go through the page cache
+// when enabled, and fall back to one uncached host read for ranges whose
+// pages are not fully mapped, so partial mappings behave exactly as they do
+// with the cache off.
+func (a *Accessor) GetTargetBytes(addr uint64, n int) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.Reads++
+	if n > 0 {
+		a.stats.ReadBytes += int64(n)
+	}
+	if !a.cfg.Cache || n <= 0 || addr+uint64(n) < addr {
+		b, err := a.hostRead(addr, n)
+		if err != nil {
+			return nil, a.fault(OpRead, addr, n, err)
+		}
+		return b, nil
+	}
+	out := make([]byte, n)
+	ps := uint64(a.cfg.PageSize)
+	for off := 0; off < n; {
+		cur := addr + uint64(off)
+		pg := a.pageFor(cur &^ (ps - 1))
+		if pg == nil {
+			a.stats.Misses++
+			b, err := a.hostRead(cur, n-off)
+			if err != nil {
+				return nil, a.fault(OpRead, addr, n, err)
+			}
+			copy(out[off:], b)
+			break
+		}
+		off += copy(out[off:], pg.data[cur-pg.base:])
+	}
+	return out, nil
+}
+
+// hostRead issues one GetTargetBytes round-trip to the host debugger.
+func (a *Accessor) hostRead(addr uint64, n int) ([]byte, error) {
+	a.stats.HostReads++
+	b, err := a.Debugger.GetTargetBytes(addr, n)
+	if err == nil {
+		a.stats.HostBytes += int64(len(b))
+	}
+	return b, err
+}
+
+// pageFor returns the resident page at base, filling it from the host if the
+// whole page is mapped, or nil when the range must be read uncached.
+func (a *Accessor) pageFor(base uint64) *page {
+	if el, ok := a.pages[base]; ok {
+		a.stats.Hits++
+		a.lru.MoveToFront(el)
+		return el.Value.(*page)
+	}
+	if !a.Debugger.ValidTargetAddr(base, a.cfg.PageSize) {
+		return nil
+	}
+	b, err := a.hostRead(base, a.cfg.PageSize)
+	if err != nil {
+		return nil
+	}
+	a.stats.Misses++
+	pg := &page{base: base, data: b}
+	a.pages[base] = a.lru.PushFront(pg)
+	for a.lru.Len() > a.cfg.MaxPages {
+		back := a.lru.Back()
+		delete(a.pages, back.Value.(*page).base)
+		a.lru.Remove(back)
+		a.stats.Evictions++
+	}
+	return pg
+}
+
+// PutTargetBytes implements dbgif.Debugger: write-through, then invalidate
+// the covered pages so the next read refetches.
+func (a *Accessor) PutTargetBytes(addr uint64, b []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.Writes++
+	a.stats.WriteBytes += int64(len(b))
+	if err := a.Debugger.PutTargetBytes(addr, b); err != nil {
+		return a.fault(OpWrite, addr, len(b), err)
+	}
+	a.invalidate(addr, len(b))
+	return nil
+}
+
+// ValidTargetAddr implements dbgif.Debugger. A range fully covered by
+// resident pages is known mapped without a host round-trip — the hot path of
+// --> list walks, which validate every pointer before following it.
+func (a *Accessor) ValidTargetAddr(addr uint64, n int) bool {
+	if a.cfg.Cache && n > 0 && addr+uint64(n)-1 >= addr {
+		a.mu.Lock()
+		covered := true
+		ps := uint64(a.cfg.PageSize)
+		last := (addr + uint64(n) - 1) &^ (ps - 1)
+		for base := addr &^ (ps - 1); ; base += ps {
+			if _, ok := a.pages[base]; !ok {
+				covered = false
+				break
+			}
+			if base == last {
+				break
+			}
+		}
+		a.mu.Unlock()
+		if covered {
+			return true
+		}
+	}
+	return a.Debugger.ValidTargetAddr(addr, n)
+}
+
+// AllocTargetSpace implements dbgif.Debugger. The new storage may overlay
+// bytes cached before the allocation (hosts map their heap segment up
+// front), so the covered pages are invalidated.
+func (a *Accessor) AllocTargetSpace(n, align int) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	addr, err := a.Debugger.AllocTargetSpace(n, align)
+	if err != nil {
+		return 0, err
+	}
+	a.invalidate(addr, n)
+	return addr, nil
+}
+
+// CallTargetFunc implements dbgif.Debugger. A target call may mutate
+// arbitrary memory, so the whole cache is flushed — even on error, since the
+// callee may have stored before failing. The lock is NOT held across the
+// host call: the callee can re-enter this accessor (watchpoints and
+// breakpoint conditions evaluate DUEL expressions mid-call).
+func (a *Accessor) CallTargetFunc(addr uint64, args []dbgif.Value) (dbgif.Value, error) {
+	out, err := a.Debugger.CallTargetFunc(addr, args)
+	a.Flush()
+	return out, err
+}
+
+// invalidate drops the cached pages overlapping [addr, addr+n).
+func (a *Accessor) invalidate(addr uint64, n int) {
+	if a.lru == nil || n <= 0 || addr+uint64(n)-1 < addr {
+		return
+	}
+	ps := uint64(a.cfg.PageSize)
+	last := (addr + uint64(n) - 1) &^ (ps - 1)
+	for base := addr &^ (ps - 1); ; base += ps {
+		if el, ok := a.pages[base]; ok {
+			delete(a.pages, base)
+			a.lru.Remove(el)
+			a.stats.Invalidations++
+		}
+		if base == last {
+			break
+		}
+	}
+}
+
+// fault wraps a host read/write error in a classified Fault. Faults from a
+// nested Accessor pass through unchanged.
+func (a *Accessor) fault(op Op, addr uint64, n int, err error) error {
+	if f, ok := err.(*Fault); ok {
+		return f
+	}
+	kind := KindOther
+	switch {
+	case !a.Debugger.ValidTargetAddr(addr, 1):
+		kind = KindUnmapped
+	case n > 0 && !a.Debugger.ValidTargetAddr(addr, n):
+		kind = KindShort
+	}
+	return &Fault{Addr: addr, Len: n, Op: op, Kind: kind, Err: err}
+}
+
+var _ dbgif.Debugger = (*Accessor)(nil)

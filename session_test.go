@@ -1,10 +1,13 @@
 package duel_test
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"duel"
+	"duel/internal/core"
 	"duel/internal/ctype"
 	"duel/internal/debugger"
 	"duel/internal/microc"
@@ -39,15 +42,38 @@ func TestSessionMaxOutput(t *testing.T) {
 	opts.MaxOutput = 3
 	s := duel.MustNewSession(d, opts)
 	var sb strings.Builder
-	err := s.Exec(&sb, "0..100")
-	if err == nil {
-		t.Fatal("truncation did not stop evaluation")
+	// Truncation stops evaluation but is not an error: the marker line is
+	// the caller's signal.
+	if err := s.Exec(&sb, "0..100"); err != nil {
+		t.Fatalf("truncation surfaced as an error: %v", err)
 	}
 	if !strings.Contains(sb.String(), "truncated") {
 		t.Errorf("no truncation marker:\n%s", sb.String())
 	}
 	if lines := strings.Count(sb.String(), "\n"); lines != 4 { // 3 values + marker
 		t.Errorf("printed %d lines", lines)
+	}
+}
+
+// TestEvalOptionsNormalized checks that caller-supplied evaluation options
+// are normalized field-by-field: explicit settings such as Symbolic: false
+// survive even when the safety limits are left zero (they used to be
+// clobbered by a wholesale reset to the defaults).
+func TestEvalOptionsNormalized(t *testing.T) {
+	d := newArrayTarget(t)
+	opts := duel.Options{Eval: core.Options{Symbolic: false, MaxSteps: 50}}
+	s := duel.MustNewSession(d, opts)
+	if _, err := s.Eval("x[..4] >? 0"); err != nil {
+		t.Fatal(err)
+	}
+	if c := s.Counters(); c.SymOps != 0 {
+		t.Errorf("SymOps = %d; explicit Symbolic: false was clobbered by normalization", c.SymOps)
+	}
+	// The zero-valued limits are raised to the defaults, so an unbounded
+	// generator still fails loudly instead of hanging; MaxSteps aborts this
+	// one long before MaxOpenRange would.
+	if _, err := s.Eval("#/(0..)"); err == nil {
+		t.Error("unbounded generator ran without a limit")
 	}
 }
 
@@ -200,5 +226,144 @@ func TestLookupCacheOption(t *testing.T) {
 	res, err = s.Eval("x[0]")
 	if err != nil || res[0].Text != "9" {
 		t.Errorf("stale value after mutation: %v", res)
+	}
+}
+
+// TestMemCacheRoundTrips is the acceptance check for the memio layer: with
+// the page cache on, the paper's 100k-element scan issues >10x fewer
+// GetTargetBytes round-trips to the host debugger while asking for exactly
+// the same bytes and printing exactly the same output.
+func TestMemCacheRoundTrips(t *testing.T) {
+	const n = 100000
+	query := "x[..100000] >? 0"
+	run := func(cache bool) (string, core.Counters) {
+		t.Helper()
+		d, err := scenarios.BuildIntArray(n, func(i int) int64 { return int64(i%7) - 3 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := duel.DefaultOptions()
+		opts.Eval.MemCache = cache
+		s := duel.MustNewSession(d, opts)
+		var sb strings.Builder
+		if err := s.Exec(&sb, query); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String(), s.Counters()
+	}
+	outOff, off := run(false)
+	outOn, on := run(true)
+	if outOff != outOn {
+		t.Fatalf("output differs cache-on vs cache-off:\n off %d bytes\n on  %d bytes", len(outOff), len(outOn))
+	}
+	// The engine-side trace is identical: same requests, same bytes.
+	if off.TargetReads != on.TargetReads || off.TargetBytes != on.TargetBytes {
+		t.Errorf("engine read trace differs: off %d reads/%d bytes, on %d reads/%d bytes",
+			off.TargetReads, off.TargetBytes, on.TargetReads, on.TargetBytes)
+	}
+	// Cache off is faithful: one host round-trip per engine read.
+	if off.HostReads != off.TargetReads {
+		t.Errorf("cache off: %d host reads for %d engine reads", off.HostReads, off.TargetReads)
+	}
+	if on.HostReads*10 >= off.HostReads {
+		t.Errorf("cache on: %d host reads vs %d off — want >10x fewer", on.HostReads, off.HostReads)
+	}
+	if on.CacheHits == 0 || on.CacheMisses == 0 {
+		t.Errorf("cache counters not merged: %+v", on)
+	}
+}
+
+// TestMemCacheListWalk checks the other hot shape from the paper — a -->next
+// list walk — stays correct and cheaper with the cache on, including after a
+// mutation through the session (write-through invalidation).
+func TestMemCacheListWalk(t *testing.T) {
+	run := func(cache bool) (string, core.Counters) {
+		t.Helper()
+		d, err := scenarios.BuildLongList(500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := duel.DefaultOptions()
+		opts.Eval.MemCache = cache
+		s := duel.MustNewSession(d, opts)
+		var sb strings.Builder
+		if err := s.Exec(&sb, "#/(head-->next)"); err != nil {
+			t.Fatal(err)
+		}
+		// Mutate through the session, then re-read: the cache must not
+		// serve the stale head value.
+		if err := s.Exec(&sb, "head->value = 4242"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Exec(&sb, "head->value"); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String(), s.Counters()
+	}
+	outOff, off := run(false)
+	outOn, on := run(true)
+	if outOff != outOn {
+		t.Fatalf("output differs cache-on vs cache-off:\n off:\n%s\n on:\n%s", outOff, outOn)
+	}
+	if !strings.Contains(outOn, "4242") {
+		t.Fatalf("stale value after write-through invalidation:\n%s", outOn)
+	}
+	if on.HostReads >= off.HostReads {
+		t.Errorf("list walk: cache on issued %d host reads, off %d", on.HostReads, off.HostReads)
+	}
+	if on.Invalidations == 0 {
+		t.Errorf("no invalidations recorded after a store: %+v", on)
+	}
+}
+
+// TestConcurrentSessionsSharedProcess runs several cache-enabled sessions
+// concurrently over one simulated process; run under -race (CI does) this
+// pins down that each session's accessor is internally synchronized.
+func TestConcurrentSessionsSharedProcess(t *testing.T) {
+	d, err := scenarios.BuildIntArray(4096, func(i int) int64 { return int64(i) - 2048 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"x[..512] >? 500", "+/x[..1024]", "#/(x[..2048] <? 0)"}
+	var want []string
+	{
+		s := duel.MustNewSession(d)
+		for _, q := range queries {
+			var sb strings.Builder
+			if err := s.Exec(&sb, q); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, sb.String())
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			opts := duel.DefaultOptions()
+			opts.Eval.MemCache = true
+			opts.Eval.MemCachePageSize = 64 << (g % 3)
+			s := duel.MustNewSession(d, opts)
+			for i := 0; i < 5; i++ {
+				for qi, q := range queries {
+					var sb strings.Builder
+					if err := s.Exec(&sb, q); err != nil {
+						errc <- err
+						return
+					}
+					if sb.String() != want[qi] {
+						errc <- fmt.Errorf("goroutine %d query %q diverged", g, q)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
 	}
 }
