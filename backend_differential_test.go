@@ -62,7 +62,7 @@ func buildFakeDebuggee(t *testing.T) dbgif.Debugger {
 	f := fakedbg.New(ctype.ILP32, 1<<16)
 	a := f.A
 
-	x := f.DefineVar("x", a.ArrayOf(a.Int, len(diffArray)))
+	x := f.MustVar("x", a.ArrayOf(a.Int, len(diffArray)))
 	for i, v := range diffArray {
 		mustPut(t, f, x.Addr+uint64(4*i), mem.EncodeUint(uint64(v), 4))
 	}
@@ -76,7 +76,7 @@ func buildFakeDebuggee(t *testing.T) dbgif.Debugger {
 	}
 	f.Structs["node"] = node
 
-	head := f.DefineVar("head", a.Ptr(node))
+	head := f.MustVar("head", a.Ptr(node))
 	next := uint64(0)
 	for i := len(diffList) - 1; i >= 0; i-- {
 		addr, err := f.AllocTargetSpace(node.Size(), node.Align())

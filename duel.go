@@ -162,12 +162,21 @@ func (s *Session) EvalFunc(src string, f func(Result) error) error {
 	return s.EvalNode(n, f)
 }
 
-// EvalNode drives an already-parsed expression.
+// EvalNode drives an already-parsed expression through the hardened
+// core.Eval boundary: Options.Eval.Timeout is enforced by a watchdog that
+// interrupts the session's memory accessor, and internal panics surface as
+// *core.PanicError values instead of killing the process.
 func (s *Session) EvalNode(n *ast.Node, f func(Result) error) error {
-	return s.Backend.Eval(s.Env, n, func(v value.Value) error {
+	return core.Eval(s.Env, s.Backend, n, func(v value.Value) error {
 		text, err := s.Printer.Format(v)
 		if err != nil {
-			return err
+			var me *value.MemError
+			if !s.Env.Opts.ErrorValues || !errors.As(err, &me) {
+				return err
+			}
+			// Contain a display-time read fault to this one line, like
+			// any other per-element fault.
+			text = "<" + value.Poison(v.Sym, err).ErrText() + ">"
 		}
 		sym := ""
 		if s.opts.ShowSymbolic {

@@ -43,9 +43,19 @@ int main() {
 	// x[18] = 9
 }
 
+// buildScenario loads and runs one canned debuggee; scenarios.Build returns
+// errors rather than panicking, so examples fail loudly but cleanly.
+func buildScenario(name string) *debugger.Debugger {
+	d, _, err := scenarios.Build(name, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
+}
+
 // ExampleSession_Eval collects results programmatically.
 func ExampleSession_Eval() {
-	ses := duel.MustNewSession(scenarios.MustBuild(scenarios.Tree, nil))
+	ses := duel.MustNewSession(buildScenario(scenarios.Tree))
 	results, err := ses.Eval("root-->(left,right)->key")
 	if err != nil {
 		log.Fatal(err)
@@ -63,7 +73,7 @@ func ExampleSession_Eval() {
 
 // ExampleSession_Values iterates with Go 1.23 range-over-func.
 func ExampleSession_Values() {
-	ses := duel.MustNewSession(scenarios.MustBuild(scenarios.List, nil))
+	ses := duel.MustNewSession(buildScenario(scenarios.List))
 	for r, err := range ses.Values("L-->next->(value ==? next-->next->value)") {
 		if err != nil {
 			log.Fatal(err)
@@ -76,7 +86,7 @@ func ExampleSession_Values() {
 
 // ExampleSession_Exec_aliases shows aliases, declarations and reductions.
 func ExampleSession_Exec_aliases() {
-	ses := duel.MustNewSession(scenarios.MustBuild(scenarios.Symtab, nil))
+	ses := duel.MustNewSession(buildScenario(scenarios.Symtab))
 	_ = ses.Exec(os.Stdout, "deep := (hash[..1024] !=? 0)->scope >? 5 => {deep}")
 	_ = ses.Exec(os.Stdout, "#/(hash[..1024]-->next)")
 	// Output:

@@ -129,6 +129,15 @@ func (g *cgen) gen(n *ast.Node) *citer {
 	y := yielder{it: it}
 	go func() {
 		defer close(it.vals)
+		// A panic in a coroutine body would otherwise kill the whole
+		// process (goroutine panics cannot be recovered elsewhere);
+		// convert it into the evaluation's error. The close above still
+		// runs afterwards, so consumers and stop() never block.
+		defer func() {
+			if p := recover(); p != nil {
+				it.err = &PanicError{Expr: g.env.exprUnder(n), Val: p}
+			}
+		}()
 		err := g.run(n, y)
 		if err != nil && !errors.Is(err, errAbandon) {
 			it.err = err
@@ -149,7 +158,7 @@ func (y yielder) out(v value.Value) error {
 // of the paper's pseudo-code, pulling operand values from child coroutines.
 func (g *cgen) run(n *ast.Node, y yielder) error {
 	e := g.env
-	if err := e.step(); err != nil {
+	if err := e.step(n); err != nil {
 		return err
 	}
 	switch n.Op {
@@ -271,7 +280,11 @@ func (g *cgen) run(n *ast.Node, y yielder) error {
 			}
 			return fmt.Errorf("duel: sizeof operand produced no values")
 		}
-		size := int64(ctype.Strip(u.Type).Size())
+		sz, serr := sizeofValue(u)
+		if serr != nil {
+			return serr
+		}
+		size := int64(sz)
 		v := value.MakeInt(e.Ctx.Arch.ULong, size)
 		v.Sym = e.intAtom(size)
 		return y.out(v)
@@ -403,7 +416,12 @@ func (g *cgen) run(n *ast.Node, y yielder) error {
 				if err != nil {
 					return err
 				}
+				// Per-iteration step: the safety limits must fire inside
+				// pure-CPU range loops, not just at node entry.
 				for i := lo; i <= hi; i++ {
+					if err := e.step(n); err != nil {
+						return err
+					}
 					if err := y.out(g.intVal(i)); err != nil {
 						return err
 					}
@@ -418,6 +436,9 @@ func (g *cgen) run(n *ast.Node, y yielder) error {
 				return err
 			}
 			for i := int64(0); i < hi; i++ {
+				if err := e.step(n); err != nil {
+					return err
+				}
 				if err := y.out(g.intVal(i)); err != nil {
 					return err
 				}
@@ -433,6 +454,9 @@ func (g *cgen) run(n *ast.Node, y yielder) error {
 			for i := lo; ; i++ {
 				if i-lo >= int64(e.Opts.MaxOpenRange) {
 					return fmt.Errorf("duel: unbounded generator exceeded %d values", e.Opts.MaxOpenRange)
+				}
+				if err := e.step(n); err != nil {
+					return err
 				}
 				if err := y.out(g.intVal(i)); err != nil {
 					return err
@@ -551,6 +575,9 @@ func (g *cgen) run(n *ast.Node, y yielder) error {
 		err := g.each(n.Kids[0], func(u value.Value) error {
 			ru, err := e.rval(u)
 			if err != nil {
+				return err
+			}
+			if err := sumOperand(ru); err != nil {
 				return err
 			}
 			if ctype.IsFloat(ru.Type) {

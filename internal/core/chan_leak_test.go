@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"duel/internal/duel/parser"
+	"duel/internal/duel/value"
+	"duel/internal/faultdbg"
+)
+
+// checkNoLeak runs fn repeatedly and then asserts the goroutine count
+// settles back to (near) the starting level. The retry loop gives the chan
+// backend's producers time to observe abandonment and unwind.
+func checkNoLeak(t *testing.T, rounds int, fn func(round int)) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	for i := 0; i < rounds; i++ {
+		fn(i)
+	}
+	runtime.GC()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// evalChan drives src on the chan backend against env, feeding every value
+// to emit.
+func evalChan(t *testing.T, env *Env, src string, emit EmitFn) error {
+	t.Helper()
+	n, err := parser.Parse(src, env.Mem)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	b, err := GetBackend("chan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Eval(env, b, n, emit)
+}
+
+// TestChanCleanupOnConsumerStop: the consumer aborting mid-stream (the
+// errStop path every [[...]] select and reduction uses internally) must
+// unwind all producer goroutines.
+func TestChanCleanupOnConsumerStop(t *testing.T) {
+	f := newFake(t)
+	stop := errors.New("consumer stop")
+	checkNoLeak(t, 50, func(round int) {
+		seen := 0
+		err := evalChan(t, NewEnv(f, DefaultOptions()), "x[..10] + (0..100)", func(v value.Value) error {
+			if seen++; seen > round%7 {
+				return stop
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, stop) {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	})
+}
+
+// TestChanCleanupOnFaultAbort: an injected memory fault aborting the
+// evaluation mid-enumeration (faithful mode, no error containment) must not
+// strand the nested producers feeding the faulted expression.
+func TestChanCleanupOnFaultAbort(t *testing.T) {
+	f := newFake(t)
+	checkNoLeak(t, 50, func(round int) {
+		inj := faultdbg.New(f, faultdbg.Plan{
+			Seed:  int64(round),
+			Rates: map[faultdbg.Kind]float64{faultdbg.Unmapped: 0.3},
+		})
+		err := evalChan(t, NewEnv(inj, DefaultOptions()), "x[..10] + x[..10]", func(value.Value) error {
+			return nil
+		})
+		// Most seeds fault somewhere mid-product; either way no goroutine
+		// may outlive the Eval call.
+		_ = err
+	})
+}
+
+// TestChanCleanupOnTimeout: the deadline firing while producers sit in
+// injected latency must still unwind everything once Eval returns.
+func TestChanCleanupOnTimeout(t *testing.T) {
+	f := newFake(t)
+	opts := DefaultOptions()
+	opts.Timeout = 20 * time.Millisecond
+	checkNoLeak(t, 10, func(round int) {
+		inj := faultdbg.New(f, faultdbg.Plan{
+			Seed:    int64(round),
+			Rates:   map[faultdbg.Kind]float64{faultdbg.Latency: 1},
+			Latency: 5 * time.Millisecond,
+		})
+		err := evalChan(t, NewEnv(inj, opts), "x[..10] + x[..10]", func(value.Value) error {
+			return nil
+		})
+		var te *TimeoutError
+		if err != nil && !errors.As(err, &te) {
+			t.Fatalf("round %d: %v (want timeout or success)", round, err)
+		}
+	})
+}
+
+// TestChanCleanupOnPanic: a recovered producer panic must not leave sibling
+// producers running.
+func TestChanCleanupOnPanic(t *testing.T) {
+	f := newFake(t)
+	checkNoLeak(t, 50, func(round int) {
+		env := NewEnv(&panicky{Fake: f}, DefaultOptions())
+		err := evalChan(t, env, "(0..100) + x[2]", func(value.Value) error { return nil })
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("round %d: %v, want *PanicError", round, err)
+		}
+	})
+}
+

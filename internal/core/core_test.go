@@ -22,15 +22,15 @@ func newFake(t testing.TB) *fakedbg.Fake {
 	t.Helper()
 	f := fakedbg.New(ctype.ILP32, 1<<16)
 	a := f.A
-	x := f.DefineVar("x", a.ArrayOf(a.Int, 10))
+	x := f.MustVar("x", a.ArrayOf(a.Int, 10))
 	for i := 0; i < 10; i++ {
 		b := value.MakeInt(a.Int, int64(10*i))
 		if err := f.PutTargetBytes(x.Addr+uint64(4*i), b.Bytes); err != nil {
 			t.Fatal(err)
 		}
 	}
-	f.DefineVar("i", a.Int)
-	n := f.DefineVar("n", a.Int)
+	f.MustVar("i", a.Int)
+	n := f.MustVar("n", a.Int)
 	_ = f.PutTargetBytes(n.Addr, value.MakeInt(a.Int, 10).Bytes)
 	// Function twice(k) = 2*k at a synthetic text address.
 	ft := a.FuncOf(a.Int, []ctype.Type{a.Int}, false)
@@ -311,7 +311,7 @@ func listFake(t testing.TB) *fakedbg.Fake {
 	}
 	f.Structs["node"] = node
 	var prev uint64
-	head := f.DefineVar("head", a.Ptr(node))
+	head := f.MustVar("head", a.Ptr(node))
 	prev = head.Addr
 	for i := 0; i < 4; i++ {
 		addr, err := f.AllocTargetSpace(node.Size(), node.Align())
@@ -520,7 +520,7 @@ func TestDfsOverFakeList(t *testing.T) {
 		}
 		_ = f.PutTargetBytes(addr+4, value.MakePtr(a.Ptr(node), next).Bytes)
 	}
-	head := f.DefineVar("head", a.Ptr(node))
+	head := f.MustVar("head", a.Ptr(node))
 	_ = f.PutTargetBytes(head.Addr, value.MakePtr(a.Ptr(node), addrs[0]).Bytes)
 
 	for _, b := range BackendNames() {
@@ -554,7 +554,7 @@ func TestCycleDetection(t *testing.T) {
 	n2, _ := f.AllocTargetSpace(node.Size(), node.Align())
 	_ = f.PutTargetBytes(n1+4, value.MakePtr(a.Ptr(node), n2).Bytes)
 	_ = f.PutTargetBytes(n2+4, value.MakePtr(a.Ptr(node), n1).Bytes) // cycle
-	head := f.DefineVar("chead", a.Ptr(node))
+	head := f.MustVar("chead", a.Ptr(node))
 	_ = f.PutTargetBytes(head.Addr, value.MakePtr(a.Ptr(node), n1).Bytes)
 
 	n, _ := parser.Parse("#/(chead-->next)", f)

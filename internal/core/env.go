@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"duel/internal/ctype"
 	"duel/internal/dbgif"
@@ -59,6 +61,19 @@ type Options struct {
 	// MaxSteps bounds the total number of values produced by one Eval
 	// (0 = no bound).
 	MaxSteps int
+	// Timeout bounds one Eval's wall-clock time (0 = no bound). Use the
+	// Eval function (rather than calling a Backend directly) to get the
+	// deadline enforced; on expiry the session's accessor is interrupted,
+	// so even a wedged target call cannot hang the session, and the
+	// evaluation fails with a *TimeoutError.
+	Timeout time.Duration
+	// ErrorValues contains target faults per element instead of aborting
+	// the whole expression (extension; off = faithful to the paper's
+	// abort-with-symbolic-message behavior). A faulted element becomes an
+	// error value carrying its symbolic derivation and the fault, the
+	// display layer prints it as "x[3]->p = <unmapped address 0x16820>",
+	// and the enclosing generator continues with the next element.
+	ErrorValues bool
 	// MaxExpand bounds the number of nodes one --> expansion visits.
 	MaxExpand int
 	// MaxCStringLen bounds string reads from the target.
@@ -111,6 +126,8 @@ type Counters struct {
 	CacheHits     int64 // memio page-cache hits
 	CacheMisses   int64 // memio page fills and uncached fallbacks
 	Invalidations int64 // pages dropped by writes, allocs and call flushes
+	MemTransients int64 // transient target faults observed by the accessor
+	MemRetries    int64 // retries the accessor's backoff spent absorbing them
 }
 
 // errStop is the internal sentinel used to terminate enumeration early
@@ -133,6 +150,10 @@ type withEntry struct {
 	// pointer, and the fields fault only if actually touched.
 	badType *ctype.Struct
 	badAddr uint64
+	// badErr, when set, is the target fault that made the pointer bad
+	// (e.g. the read of the pointer itself faulted); resolving a field
+	// reports it instead of a plain illegal-reference message.
+	badErr error
 }
 
 // Env is the evaluation state for one DUEL session: the memory accessor
@@ -154,6 +175,15 @@ type Env struct {
 	declAddrs  map[*ast.Node]uint64 // storage of DUEL declarations, per node
 	strAddrs   map[*ast.Node]uint64 // interned string literals, per node
 	steps      int
+
+	// cancel is set by the Eval deadline watchdog (and cleared when the
+	// evaluation finishes); step checks it so every backend notices a
+	// timeout at its next produced value.
+	cancel atomic.Bool
+	// lastNode tracks the node most recently entered by step, so panic
+	// recovery and timeout errors can report the symbolic expression
+	// under evaluation.
+	lastNode atomic.Pointer[ast.Node]
 }
 
 // NewEnv returns a fresh environment over the given debugger, routing all
@@ -190,6 +220,8 @@ func (e *Env) Counters() Counters {
 	c.CacheHits = s.Hits
 	c.CacheMisses = s.Misses
 	c.Invalidations = s.Invalidations
+	c.MemTransients = s.Transients
+	c.MemRetries = s.Retries
 	return c
 }
 
@@ -211,11 +243,15 @@ func (e *Env) beginEval() {
 	}
 }
 
-func (e *Env) step() error {
+func (e *Env) step(n *ast.Node) error {
+	e.lastNode.Store(n)
 	e.Num.Values++
 	e.steps++
+	if e.cancel.Load() {
+		return &TimeoutError{Limit: e.Opts.Timeout, Expr: nodeExpr(n)}
+	}
 	if e.Opts.MaxSteps > 0 && e.steps > e.Opts.MaxSteps {
-		return fmt.Errorf("duel: evaluation exceeded %d values; aborting", e.Opts.MaxSteps)
+		return &StepLimitError{Limit: e.Opts.MaxSteps, Expr: nodeExpr(n)}
 	}
 	return nil
 }
@@ -273,11 +309,7 @@ func (e *Env) fetch(name string) (value.Value, error) {
 		w := e.withStack[i]
 		if w.badType != nil {
 			if _, ok := w.badType.Field(name); ok {
-				return value.Value{}, &value.MemError{
-					Context: w.orig.Sym.S + "->" + name,
-					Sym:     w.orig.Sym.S,
-					Addr:    w.badAddr,
-				}
+				return e.badFieldRef(w, name)
 			}
 		}
 		if !w.hasScope {
@@ -480,18 +512,64 @@ func (e *Env) internString(n *ast.Node) (value.Value, error) {
 	return lv, nil
 }
 
+// badFieldRef reports the resolution of a field behind a bad pointer: the
+// paper's symbolic error, or — under Options.ErrorValues — an error value
+// that poisons just this element.
+func (e *Env) badFieldRef(w withEntry, name string) (value.Value, error) {
+	err := &value.MemError{
+		Context: w.orig.Sym.S + "->" + name,
+		Sym:     w.orig.Sym.S,
+		Addr:    w.badAddr,
+		Err:     w.badErr,
+	}
+	if e.Opts.ErrorValues {
+		return value.Poison(e.atom(name), err), nil
+	}
+	return value.Value{}, err
+}
+
 // rval performs lvalue conversion, counting loads for the F2 breakdown.
+// Under Options.ErrorValues a load fault is contained into an error value
+// instead of aborting the evaluation; type errors still propagate.
 func (e *Env) rval(v value.Value) (value.Value, error) {
 	if v.IsLvalue {
 		e.Num.MemReads++
 	}
-	return e.Ctx.Rval(v)
+	rv, err := e.Ctx.Rval(v)
+	if err != nil && e.Opts.ErrorValues {
+		var me *value.MemError
+		if errors.As(err, &me) {
+			return value.Poison(v.Sym, err), nil
+		}
+	}
+	return rv, err
+}
+
+// sizeofValue measures a produced value for sizeof(expr), reporting the
+// contained fault of an error value instead of a size.
+func sizeofValue(u value.Value) (int, error) {
+	if u.IsPoison() {
+		return 0, u.Err
+	}
+	return ctype.Strip(u.Type).Size(), nil
+}
+
+// sumOperand checks one +/ operand, reporting the contained fault of an
+// error value (a reduction cannot produce a total with an element missing).
+func sumOperand(ru value.Value) error {
+	if ru.IsPoison() {
+		return ru.Err
+	}
+	return nil
 }
 
 // validPointer reports whether pointer rvalue p is non-null and points to
 // readable memory of its pointee's size (the paper: "until a NULL pointer
 // or an invalid pointer terminates the sequence").
 func (e *Env) validPointer(p value.Value) bool {
+	if p.IsPoison() {
+		return false
+	}
 	st := ctype.Strip(p.Type)
 	pt, ok := st.(*ctype.Pointer)
 	if !ok {
@@ -514,6 +592,9 @@ func (e *Env) FormatScalar(v value.Value) (string, error) {
 	rv, err := e.rval(v)
 	if err != nil {
 		return "", err
+	}
+	if rv.IsPoison() {
+		return "<" + rv.ErrText() + ">", nil
 	}
 	st := ctype.Strip(rv.Type)
 	switch {
@@ -550,6 +631,19 @@ func (e *Env) makeWithEntry(u value.Value, arrow bool) (withEntry, error) {
 	ru, err := e.rval(u)
 	if err != nil {
 		return withEntry{}, err
+	}
+	if ru.IsPoison() {
+		// The read of the pointer itself faulted (ErrorValues). Field
+		// names still resolve — via the statically known pointee type —
+		// but each resolution yields an error value carrying the fault.
+		entry.orig = ru.WithSym(u.Sym)
+		if elem, ok := ctype.PointerElem(ctype.Strip(u.Type)); ok {
+			if est, isStruct := ctype.Strip(elem).(*ctype.Struct); isStruct {
+				entry.badType = est
+				entry.badErr = ru.Err
+			}
+		}
+		return entry, nil
 	}
 	entry.orig = ru.WithSym(u.Sym)
 	if !ctype.IsPointer(ru.Type) {
@@ -630,11 +724,7 @@ func (e *Env) directField(u value.Value, name string, arrow bool) (value.Value, 
 	}
 	if entry.badType != nil {
 		if _, ok := entry.badType.Field(name); ok {
-			return value.Value{}, &value.MemError{
-				Context: u.Sym.S + "->" + name,
-				Sym:     u.Sym.S,
-				Addr:    entry.badAddr,
-			}
+			return e.badFieldRef(entry, name)
 		}
 	}
 	if entry.hasScope {

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"duel/internal/duel/ast"
+)
+
+// StepLimitError reports an evaluation aborted by Options.MaxSteps.
+type StepLimitError struct {
+	Limit int
+	Expr  string // symbolic expression of the node that hit the limit
+}
+
+func (e *StepLimitError) Error() string {
+	if e.Expr != "" {
+		return fmt.Sprintf("duel: evaluation exceeded %d values (at %s); aborting", e.Limit, e.Expr)
+	}
+	return fmt.Sprintf("duel: evaluation exceeded %d values; aborting", e.Limit)
+}
+
+// TimeoutError reports an evaluation aborted by Options.Timeout.
+type TimeoutError struct {
+	Limit time.Duration
+	Expr  string // symbolic expression of the node under evaluation
+}
+
+func (e *TimeoutError) Error() string {
+	if e.Expr != "" {
+		return fmt.Sprintf("duel: evaluation exceeded %v (at %s); aborting", e.Limit, e.Expr)
+	}
+	return fmt.Sprintf("duel: evaluation exceeded %v; aborting", e.Limit)
+}
+
+// PanicError reports an internal evaluator panic recovered at the Eval
+// boundary, carrying the symbolic expression of the node being evaluated —
+// a bug turned into a diagnosable DUEL error instead of a dead session.
+type PanicError struct {
+	Expr string
+	Val  any
+}
+
+func (e *PanicError) Error() string {
+	if e.Expr != "" {
+		return fmt.Sprintf("duel: internal error evaluating %s: %v", e.Expr, e.Val)
+	}
+	return fmt.Sprintf("duel: internal error: %v", e.Val)
+}
+
+// nodeExpr renders a node for error messages: its source text when the
+// parser recorded it, its s-expression otherwise.
+func nodeExpr(n *ast.Node) string {
+	if n == nil {
+		return ""
+	}
+	if n.Text != "" {
+		return n.Text
+	}
+	return n.Sexp()
+}
+
+// exprUnder names the node most recently entered by step (falling back to
+// the evaluation root), for errors raised asynchronously.
+func (e *Env) exprUnder(root *ast.Node) string {
+	if ln := e.lastNode.Load(); ln != nil {
+		return nodeExpr(ln)
+	}
+	return nodeExpr(root)
+}
+
+// Eval is the hardened evaluation boundary every session should drive a
+// Backend through. On top of Backend.Eval it enforces Options.Timeout with a
+// watchdog that interrupts the session's memory accessor (so a wedged
+// target call or injected hang cannot block the session past the deadline),
+// and recovers internal panics into *PanicError values carrying the symbolic
+// expression of the node being evaluated.
+func Eval(e *Env, b Backend, n *ast.Node, emit EmitFn) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Expr: e.exprUnder(n), Val: p}
+		}
+	}()
+	e.lastNode.Store(nil)
+	if e.Opts.Timeout <= 0 {
+		return b.Eval(e, n, emit)
+	}
+	e.cancel.Store(false)
+	fired := make(chan struct{})
+	timer := time.AfterFunc(e.Opts.Timeout, func() {
+		e.cancel.Store(true)
+		e.Mem.Interrupt()
+		close(fired)
+	})
+	defer func() {
+		if timer.Stop() {
+			return
+		}
+		// The watchdog fired: wait for it to finish, then clear the
+		// cancellation so the next evaluation starts clean.
+		<-fired
+		e.cancel.Store(false)
+		e.Mem.Resume()
+		if err != nil {
+			var te *TimeoutError
+			if !errors.As(err, &te) {
+				// The abort surfaced as an interrupted memory fault
+				// (or similar); report the deadline as the cause.
+				err = &TimeoutError{Limit: e.Opts.Timeout, Expr: e.exprUnder(n)}
+			}
+		}
+	}()
+	return b.Eval(e, n, emit)
+}

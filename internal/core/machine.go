@@ -146,7 +146,7 @@ func (m *machine) eval(n *ast.Node) (value.Value, bool, error) {
 
 func (m *machine) eval1(n *ast.Node) (value.Value, bool, error) {
 	e := m.env
-	if err := e.step(); err != nil {
+	if err := e.step(n); err != nil {
 		return value.Value{}, false, err
 	}
 	st := m.st(n)
@@ -285,7 +285,11 @@ func (m *machine) eval1(n *ast.Node) (value.Value, bool, error) {
 		}
 		m.resetTree(n.Kids[0])
 		st.state = 1
-		size := int64(ctype.Strip(u.Type).Size())
+		sz, serr := sizeofValue(u)
+		if serr != nil {
+			return value.Value{}, false, serr
+		}
+		size := int64(sz)
 		v := value.MakeInt(e.Ctx.Arch.ULong, size)
 		v.Sym = e.intAtom(size)
 		return v, true, nil
@@ -1181,6 +1185,9 @@ func (m *machine) evalReduction(n *ast.Node, st *mstate) (value.Value, bool, err
 		case ast.OpSum:
 			ru, err := e.rval(u)
 			if err != nil {
+				return value.Value{}, false, err
+			}
+			if err := sumOperand(ru); err != nil {
 				return value.Value{}, false, err
 			}
 			if ctype.IsFloat(ru.Type) {

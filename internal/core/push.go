@@ -35,7 +35,7 @@ func (pushBackend) Eval(e *Env, n *ast.Node, emit EmitFn) error {
 
 // evalPush produces every value of n through yield.
 func (e *Env) evalPush(n *ast.Node, yield EmitFn) error {
-	if err := e.step(); err != nil {
+	if err := e.step(n); err != nil {
 		return err
 	}
 	switch n.Op {
@@ -127,7 +127,10 @@ func (e *Env) evalPush(n *ast.Node, yield EmitFn) error {
 		var size int
 		found := false
 		err := e.evalPush(n.Kids[0], func(u value.Value) error {
-			size = ctype.Strip(u.Type).Size()
+			var serr error
+			if size, serr = sizeofValue(u); serr != nil {
+				return serr
+			}
 			found = true
 			return errStop
 		})
@@ -278,7 +281,13 @@ func (e *Env) evalPush(n *ast.Node, yield EmitFn) error {
 				if err != nil {
 					return err
 				}
+				// Per-iteration step: range loops are the only pure-CPU
+				// unbounded work, so the safety limits must fire inside
+				// them, not just at node entry.
 				for i := lo; i <= hi; i++ {
+					if err := e.step(n); err != nil {
+						return err
+					}
 					if err := e.yieldInt(i, yield); err != nil {
 						return err
 					}
@@ -293,6 +302,9 @@ func (e *Env) evalPush(n *ast.Node, yield EmitFn) error {
 				return err
 			}
 			for i := int64(0); i < hi; i++ {
+				if err := e.step(n); err != nil {
+					return err
+				}
 				if err := e.yieldInt(i, yield); err != nil {
 					return err
 				}
@@ -308,6 +320,9 @@ func (e *Env) evalPush(n *ast.Node, yield EmitFn) error {
 			for i := lo; ; i++ {
 				if i-lo >= int64(e.Opts.MaxOpenRange) {
 					return fmt.Errorf("duel: unbounded generator %s.. exceeded %d values", u.Sym.S, e.Opts.MaxOpenRange)
+				}
+				if err := e.step(n); err != nil {
+					return err
 				}
 				if err := e.yieldInt(i, yield); err != nil {
 					return err
@@ -372,6 +387,9 @@ func (e *Env) evalPush(n *ast.Node, yield EmitFn) error {
 		err := e.evalPush(n.Kids[0], func(u value.Value) error {
 			ru, err := e.rval(u)
 			if err != nil {
+				return err
+			}
+			if err := sumOperand(ru); err != nil {
 				return err
 			}
 			if ctype.IsFloat(ru.Type) {
@@ -481,6 +499,11 @@ func (e *Env) rangeBound(u value.Value) (int64, error) {
 	ru, err := e.rval(u)
 	if err != nil {
 		return 0, err
+	}
+	if ru.IsPoison() {
+		// A range cannot proceed without its bound; the containment
+		// stops here and the fault aborts the (sub)expression.
+		return 0, ru.Err
 	}
 	if !ctype.IsInteger(ctype.Strip(ru.Type)) {
 		return 0, fmt.Errorf("duel: range bound %s is not an integer (%s)", u.Sym.S, ru.Type)

@@ -26,13 +26,13 @@ func newStructFake(t testing.TB) *fakedbg.Fake {
 		t.Fatal(err)
 	}
 	f.Structs["pair"] = st
-	s := f.DefineVar("s", st)
+	s := f.MustVar("s", st)
 	_ = f.PutTargetBytes(s.Addr, value.MakeInt(arch.Int, 10).Bytes)
 	_ = f.PutTargetBytes(s.Addr+4, value.MakeInt(arch.Int, 20).Bytes)
-	ga := f.DefineVar("a", arch.Int)
+	ga := f.MustVar("a", arch.Int)
 	_ = f.PutTargetBytes(ga.Addr, value.MakeInt(arch.Int, 999).Bytes)
-	f.DefineVar("k", arch.Int)
-	sp := f.DefineVar("sp", arch.Ptr(st))
+	f.MustVar("k", arch.Int)
+	sp := f.MustVar("sp", arch.Ptr(st))
 	_ = f.PutTargetBytes(sp.Addr, value.MakePtr(arch.Ptr(st), s.Addr).Bytes)
 	return f
 }

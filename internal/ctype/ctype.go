@@ -303,11 +303,18 @@ func Strip(t Type) Type {
 	}
 }
 
+// The classification predicates treat a nil type as "none of the above"
+// rather than panicking: typeless values (notably the evaluator's error
+// values) flow through them during containment.
+
 // IsVoid reports whether t (after stripping typedefs) is void.
-func IsVoid(t Type) bool { return Strip(t).Kind() == KindVoid }
+func IsVoid(t Type) bool { return t != nil && Strip(t).Kind() == KindVoid }
 
 // IsInteger reports whether t is an integer type (including char, enum).
 func IsInteger(t Type) bool {
+	if t == nil {
+		return false
+	}
 	switch Strip(t).Kind() {
 	case KindChar, KindSChar, KindUChar, KindShort, KindUShort,
 		KindInt, KindUInt, KindLong, KindULong,
@@ -319,6 +326,9 @@ func IsInteger(t Type) bool {
 
 // IsFloat reports whether t is a floating type.
 func IsFloat(t Type) bool {
+	if t == nil {
+		return false
+	}
 	switch Strip(t).Kind() {
 	case KindFloat, KindDouble:
 		return true
@@ -330,7 +340,7 @@ func IsFloat(t Type) bool {
 func IsArithmetic(t Type) bool { return IsInteger(t) || IsFloat(t) }
 
 // IsPointer reports whether t is a pointer type.
-func IsPointer(t Type) bool { return Strip(t).Kind() == KindPointer }
+func IsPointer(t Type) bool { return t != nil && Strip(t).Kind() == KindPointer }
 
 // IsScalar reports whether t is arithmetic or a pointer.
 func IsScalar(t Type) bool { return IsArithmetic(t) || IsPointer(t) }
@@ -338,6 +348,9 @@ func IsScalar(t Type) bool { return IsArithmetic(t) || IsPointer(t) }
 // IsSigned reports whether the integer type t is signed. Plain char is
 // signed in this implementation (as on the VAX, MIPS and x86 ABIs).
 func IsSigned(t Type) bool {
+	if t == nil {
+		return false
+	}
 	switch Strip(t).Kind() {
 	case KindChar, KindSChar, KindShort, KindInt, KindLong, KindLongLong, KindEnum:
 		return true

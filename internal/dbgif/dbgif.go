@@ -40,6 +40,36 @@ type VarInfo struct {
 	Addr uint64
 }
 
+// Interrupter is an optional interface a Debugger may implement when its
+// operations can block (remote round-trips, injected latency, hanging target
+// calls). Interrupt asks in-flight and future operations to fail fast with an
+// error instead of blocking; Resume clears the request. The evaluation
+// deadline (core.Options.Timeout) uses it to guarantee that a wedged target
+// cannot hang a session: on timeout the engine interrupts the session's
+// accessor, which forwards the request down the wrapper chain.
+//
+// Implementations must make both methods safe for concurrent use, and
+// Interrupt must be safe to call while another goroutine is blocked inside a
+// Debugger method.
+type Interrupter interface {
+	Interrupt()
+	Resume()
+}
+
+// Interrupt forwards an interrupt request to d if it supports one.
+func Interrupt(d Debugger) {
+	if i, ok := d.(Interrupter); ok {
+		i.Interrupt()
+	}
+}
+
+// Resume clears an interrupt request on d if it supports one.
+func Resume(d Debugger) {
+	if i, ok := d.(Interrupter); ok {
+		i.Resume()
+	}
+}
+
 // Debugger is everything DUEL needs from a host debugger.
 type Debugger interface {
 	// Arch reports the target's data model.

@@ -8,12 +8,24 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"duel"
+	"duel/internal/core"
 	"duel/internal/cparse"
 	"duel/internal/ctype"
+	"duel/internal/faultdbg"
 	"duel/internal/microc"
 	"duel/internal/target"
+)
+
+// Interactive sessions get finite safety limits by default — a runaway or
+// wedged query prints which limit fired instead of hanging the prompt. The
+// library's DefaultOptions stay unbounded (faithful); these bounds are only
+// the REPL's.
+const (
+	interactiveMaxSteps = 1 << 20
+	interactiveTimeout  = 10 * time.Second
 )
 
 // REPL is the interactive mini-debugger: load a micro-C program, run it with
@@ -23,6 +35,9 @@ type REPL struct {
 	Dbg    *Debugger
 	Interp *microc.Interp
 	Ses    *duel.Session
+	// Inj sits between the DUEL session and the debugger; the faults
+	// command arms it to exercise queries against a misbehaving target.
+	Inj *faultdbg.Injector
 
 	in     *bufio.Scanner
 	out    io.Writer
@@ -67,7 +82,11 @@ func NewREPL(src string, in io.Reader, out io.Writer, cfg target.Config) (*REPL,
 	if err != nil {
 		return nil, err
 	}
-	ses, err := duel.NewSession(dbg)
+	inj := faultdbg.New(dbg, faultdbg.Plan{})
+	opts := duel.DefaultOptions()
+	opts.Eval.MaxSteps = interactiveMaxSteps
+	opts.Eval.Timeout = interactiveTimeout
+	ses, err := duel.NewSession(inj, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -75,6 +94,7 @@ func NewREPL(src string, in io.Reader, out io.Writer, cfg target.Config) (*REPL,
 		Dbg:        dbg,
 		Interp:     interp,
 		Ses:        ses,
+		Inj:        inj,
 		srcLines:   strings.Split(src, "\n"),
 		in:         bufio.NewScanner(in),
 		out:        out,
@@ -198,12 +218,15 @@ func (r *REPL) Command(line string) (quit bool, err error) {
 		return false, r.cmdEval(rest, true)
 	case "set":
 		return false, r.cmdSet(rest)
+	case "faults":
+		return false, r.cmdFaults(rest)
 	case "counters":
 		c := r.Ses.Counters()
 		r.printf("lookups=%d applies=%d symops=%d values=%d memreads=%d\n",
 			c.Lookups, c.Applies, c.SymOps, c.Values, c.MemReads)
-		r.printf("mem: reads=%d hostreads=%d hits=%d misses=%d invalidations=%d\n",
-			c.TargetReads, c.HostReads, c.CacheHits, c.CacheMisses, c.Invalidations)
+		r.printf("mem: reads=%d hostreads=%d hits=%d misses=%d invalidations=%d transients=%d retries=%d\n",
+			c.TargetReads, c.HostReads, c.CacheHits, c.CacheMisses, c.Invalidations,
+			c.MemTransients, c.MemRetries)
 		return false, nil
 	}
 	return false, fmt.Errorf("unknown command %q; try \"help\"", cmd)
@@ -228,7 +251,11 @@ func (r *REPL) help() {
   list [line]         show program source around a line
   info <breakpoints|watchpoints|functions|globals|locals|types>
   set <backend push|machine|chan | symbolic on|off | cycledetect on|off
+       | maxsteps n | timeout dur | errorvalues on|off
        | trace on|off>   (trace logs the paper-style eval walkthrough)
+  faults [off | key=value ...]   arm deterministic target-fault injection
+                      (rates: unmapped short transient latency allocfail
+                       callfail callhang all; seed= after= limit= delay= hang=)
   counters            evaluation statistics     quit
 `)
 }
@@ -520,6 +547,17 @@ func (r *REPL) cmdEval(src string, isDuel bool) error {
 		return nil
 	})
 	if err != nil {
+		// Say which safety limit fired, so the user knows what to raise.
+		var sl *core.StepLimitError
+		if errors.As(err, &sl) {
+			r.printf("%v\n(step limit MaxSteps = %d fired; raise it with \"set maxsteps <n>\")\n", err, sl.Limit)
+			return nil
+		}
+		var tl *core.TimeoutError
+		if errors.As(err, &tl) {
+			r.printf("%v\n(time limit Timeout = %v fired; raise it with \"set timeout <duration>\")\n", err, tl.Limit)
+			return nil
+		}
 		return err
 	}
 	// A trailing ';' means "side effects only" — stay silent, like the
@@ -538,7 +576,7 @@ func (r *REPL) cmdSet(rest string) error {
 		opts := duel.DefaultOptions()
 		opts.Backend = val
 		opts.Eval = r.Ses.Env.Opts
-		ses, err := duel.NewSession(r.Dbg, opts)
+		ses, err := duel.NewSession(r.Inj, opts)
 		if err != nil {
 			return err
 		}
@@ -552,6 +590,23 @@ func (r *REPL) cmdSet(rest string) error {
 	case "cycledetect":
 		r.Ses.Env.Opts.CycleDetect = val == "on"
 		r.printf("cycledetect = %v\n", val == "on")
+	case "maxsteps":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("usage: set maxsteps <n>  (0 = unbounded)")
+		}
+		r.Ses.Env.Opts.MaxSteps = n
+		r.printf("maxsteps = %d\n", n)
+	case "timeout":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("usage: set timeout <duration>  (e.g. 5s; 0 = unbounded)")
+		}
+		r.Ses.Env.Opts.Timeout = d
+		r.printf("timeout = %v\n", d)
+	case "errorvalues":
+		r.Ses.Env.Opts.ErrorValues = val == "on"
+		r.printf("errorvalues = %v\n", val == "on")
 	case "trace":
 		// Tracing shows the paper's per-node evaluation walkthrough;
 		// it is implemented by the machine (state/NOVALUE) backend.
@@ -570,6 +625,115 @@ func (r *REPL) cmdSet(rest string) error {
 		return fmt.Errorf("usage: set <backend|symbolic|cycledetect> <value>")
 	}
 	return nil
+}
+
+// cmdFaults arms, disarms and reports the session's fault injector.
+//
+//	faults                          show the current plan and statistics
+//	faults off                      stop injecting
+//	faults seed=7 unmapped=0.05 ... arm a new plan (resets the schedule)
+//
+// Rate keys (probability per operation): unmapped, short, transient,
+// latency, allocfail, callfail, callhang; all=<p> sets every kind at once.
+// Other keys: seed=<n>, after=<n> (skip first n ops), limit=<n> (max
+// injections), delay=<dur> (latency per fault), hang=<dur> (hang bound).
+func (r *REPL) cmdFaults(rest string) error {
+	switch strings.TrimSpace(rest) {
+	case "":
+		if r.Inj.Armed() {
+			r.printf("faults armed: %s\n", describePlan(r.Inj.CurrentPlan()))
+		} else {
+			r.printf("faults off\n")
+		}
+		r.printf("stats: %s\n", r.Inj.Stats())
+		return nil
+	case "off":
+		r.Inj.Disarm()
+		r.printf("faults off\n")
+		return nil
+	}
+	plan := faultdbg.Plan{Rates: map[faultdbg.Kind]float64{}}
+	kinds := map[string]faultdbg.Kind{}
+	for _, k := range faultdbg.Kinds() {
+		kinds[k.String()] = k
+	}
+	for _, tok := range strings.Fields(rest) {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return fmt.Errorf("faults: %q is not key=value (try \"help\")", tok)
+		}
+		if k, isKind := kinds[key]; isKind {
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return fmt.Errorf("faults: rate %s=%q must be in [0,1]", key, val)
+			}
+			plan.Rates[k] = p
+			continue
+		}
+		switch key {
+		case "all":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return fmt.Errorf("faults: rate all=%q must be in [0,1]", val)
+			}
+			for _, k := range faultdbg.Kinds() {
+				plan.Rates[k] = p
+			}
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("faults: bad seed %q", val)
+			}
+			plan.Seed = n
+		case "after":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf("faults: bad after %q", val)
+			}
+			plan.After = n
+		case "limit":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf("faults: bad limit %q", val)
+			}
+			plan.Limit = n
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return fmt.Errorf("faults: bad delay %q", val)
+			}
+			plan.Latency = d
+		case "hang":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return fmt.Errorf("faults: bad hang %q", val)
+			}
+			plan.Hang = d
+		default:
+			return fmt.Errorf("faults: unknown key %q", key)
+		}
+	}
+	r.Inj.Arm(plan)
+	r.printf("faults armed: %s\n", describePlan(r.Inj.CurrentPlan()))
+	return nil
+}
+
+func describePlan(p faultdbg.Plan) string {
+	var parts []string
+	for _, k := range faultdbg.Kinds() {
+		if rate := p.Rates[k]; rate > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, rate))
+		}
+	}
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	if p.After > 0 {
+		parts = append(parts, fmt.Sprintf("after=%d", p.After))
+	}
+	if p.Limit > 0 {
+		parts = append(parts, fmt.Sprintf("limit=%d", p.Limit))
+	}
+	parts = append(parts, fmt.Sprintf("delay=%v hang=%v", p.Latency, p.Hang))
+	return strings.Join(parts, " ")
 }
 
 // cmdList shows source around the given line (default: the current stop).

@@ -478,3 +478,83 @@ func TestTraceMode(t *testing.T) {
 		t.Errorf("trace lines after off:\n%s", tail)
 	}
 }
+
+// TestLimitFiredMessages: when a safety limit aborts a query, the REPL says
+// which limit fired and how to raise it, and the prompt stays usable.
+func TestLimitFiredMessages(t *testing.T) {
+	out := runScript(t, listProgram,
+		"run",
+		"set maxsteps 10",
+		"duel #/(0..1000000)",
+		"set maxsteps 0",
+		"set timeout 50ms",
+		"duel #/(0..2000000000)",
+		"duel 1+1",
+		"quit",
+	)
+	if !strings.Contains(out, `step limit MaxSteps = 10 fired; raise it with "set maxsteps <n>"`) {
+		t.Errorf("missing step-limit report:\n%s", out)
+	}
+	if !strings.Contains(out, `time limit Timeout = 50ms fired; raise it with "set timeout <duration>"`) {
+		t.Errorf("missing time-limit report:\n%s", out)
+	}
+	if !strings.Contains(out, "1+1 = 2") {
+		t.Errorf("prompt unusable after limit aborts:\n%s", out)
+	}
+}
+
+// TestFaultsCommand: arming, observing, and disarming the fault injector
+// from the prompt.
+func TestFaultsCommand(t *testing.T) {
+	out := runScript(t, listProgram,
+		"run",
+		"duel head->v",
+		"faults unmapped=1 seed=3",
+		"duel head->v",
+		"faults",
+		"faults off",
+		"duel head->v",
+		"quit",
+	)
+	if !strings.Contains(out, "head->v = 3") {
+		t.Errorf("healthy query failed before arming:\n%s", out)
+	}
+	if !strings.Contains(out, "Illegal memory reference") {
+		t.Errorf("armed unmapped=1 query did not fault:\n%s", out)
+	}
+	if !strings.Contains(out, "faults armed:") || !strings.Contains(out, "unmapped=1") {
+		t.Errorf("faults status missing plan:\n%s", out)
+	}
+	if !strings.Contains(out, "injected=") {
+		t.Errorf("faults status missing stats:\n%s", out)
+	}
+	if !strings.Contains(out, "faults off") {
+		t.Errorf("faults off not reported:\n%s", out)
+	}
+	// The query after "faults off" must succeed again: count both healthy
+	// answers.
+	if strings.Count(out, "head->v = 3") != 2 {
+		t.Errorf("query did not recover after faults off:\n%s", out)
+	}
+}
+
+// TestErrorValuesFromPrompt: "set errorvalues on" contains an injected fault
+// to its element; the rest of the walk still prints.
+func TestErrorValuesFromPrompt(t *testing.T) {
+	out := runScript(t, listProgram,
+		"run",
+		"set errorvalues on",
+		"faults unmapped=0.4 seed=11",
+		"duel head-->next->v",
+		"faults off",
+		"quit",
+	)
+	if !strings.Contains(out, "errorvalues = true") {
+		t.Errorf("set errorvalues not acknowledged:\n%s", out)
+	}
+	// With containment on, a faulting walk must not surface a hard
+	// "Illegal memory reference" abort; faults show up inside <...> lines.
+	if strings.Contains(out, "Illegal memory reference") {
+		t.Errorf("errorvalues on still aborted hard:\n%s", out)
+	}
+}

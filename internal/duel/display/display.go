@@ -54,6 +54,12 @@ func (p *Printer) Format(v value.Value) (string, error) {
 }
 
 func (p *Printer) format(v value.Value, depth int) (string, error) {
+	if v.IsPoison() {
+		// An error value (Options.Eval.ErrorValues): print the fault in
+		// place of the element, e.g. "x[3]->p = <unmapped address
+		// 0x16820>"; the symbolic side comes from Line as usual.
+		return "<" + v.ErrText() + ">", nil
+	}
 	if v.FrameScope > 0 {
 		return fmt.Sprintf("<frame %d>", v.FrameScope-1), nil
 	}

@@ -81,7 +81,7 @@ func TestAggregateFormatting(t *testing.T) {
 		ctype.FieldSpec{Name: "x", Type: a.Int},
 		ctype.FieldSpec{Name: "y", Type: a.Int},
 	)
-	vi := f.DefineVar("p", s)
+	vi := f.MustVar("p", s)
 	_ = f.PutTargetBytes(vi.Addr, value.MakeInt(a.Int, 1).Bytes)
 	_ = f.PutTargetBytes(vi.Addr+4, value.MakeInt(a.Int, 2).Bytes)
 	got, err := p.Format(value.Lvalue(s, vi.Addr))
@@ -89,7 +89,7 @@ func TestAggregateFormatting(t *testing.T) {
 		t.Errorf("struct = %q, %v", got, err)
 	}
 
-	arr := f.DefineVar("a3", a.ArrayOf(a.Int, 3))
+	arr := f.MustVar("a3", a.ArrayOf(a.Int, 3))
 	for i := 0; i < 3; i++ {
 		_ = f.PutTargetBytes(arr.Addr+uint64(4*i), value.MakeInt(a.Int, int64(i+1)).Bytes)
 	}
@@ -99,7 +99,7 @@ func TestAggregateFormatting(t *testing.T) {
 	}
 
 	// Char arrays display as strings.
-	ca := f.DefineVar("cs", a.ArrayOf(a.Char, 8))
+	ca := f.MustVar("cs", a.ArrayOf(a.Char, 8))
 	_ = f.PutTargetBytes(ca.Addr, append([]byte("hi"), 0))
 	got, _ = p.Format(value.Lvalue(ca.Type, ca.Addr))
 	if got != `"hi"` {
@@ -119,7 +119,7 @@ func TestNestedDepthLimit(t *testing.T) {
 	a := f.A
 	inner, _ := a.StructOf("inner", ctype.FieldSpec{Name: "v", Type: a.Int})
 	outer, _ := a.StructOf("outer", ctype.FieldSpec{Name: "in", Type: inner})
-	vi := f.DefineVar("o", outer)
+	vi := f.MustVar("o", outer)
 	p.MaxDepth = 1
 	got, _ := p.Format(value.Lvalue(outer, vi.Addr))
 	if !strings.Contains(got, "{...}") {
@@ -161,7 +161,7 @@ func TestBitfieldLineThroughPrinter(t *testing.T) {
 	p, f := newPrinter()
 	a := f.A
 	s, _ := a.StructOf("b", ctype.FieldSpec{Name: "f", Type: a.Int, BitWidth: 3})
-	vi := f.DefineVar("bb", s)
+	vi := f.MustVar("bb", s)
 	ctx := p.Ctx
 	fv, _ := ctx.Field(value.Lvalue(s, vi.Addr), "f")
 	_ = ctx.Store(fv, value.MakeInt(a.Int, 3))
@@ -190,7 +190,7 @@ func TestUnionFormatting(t *testing.T) {
 		ctype.FieldSpec{Name: "i", Type: a.Int},
 		ctype.FieldSpec{Name: "c", Type: a.Char},
 	)
-	vi := f.DefineVar("uv", u)
+	vi := f.MustVar("uv", u)
 	_ = f.PutTargetBytes(vi.Addr, value.MakeInt(a.Int, 65).Bytes)
 	got, err := p.Format(value.Lvalue(u, vi.Addr))
 	if err != nil || got != "{i = 65, c = 'A'}" {

@@ -29,6 +29,9 @@ func evalErrf(v Value, format string, args ...any) error {
 // (the generator-level semantics — which operand sequences to enumerate —
 // live in the evaluator; this is the paper's apply()).
 func (c *Ctx) Binary(op ast.Op, a, b Value) (Value, error) {
+	if p, ok := PoisonOf(a, b); ok {
+		return p, nil
+	}
 	switch op {
 	case ast.OpPlus:
 		return c.add(a, b)
@@ -295,6 +298,9 @@ func (c *Ctx) UsualArith(a, b Value) (ctype.Type, error) {
 
 // Unary applies a single-valued C unary operator to rvalue v.
 func (c *Ctx) Unary(op ast.Op, v Value) (Value, error) {
+	if v.IsPoison() {
+		return v, nil
+	}
 	st := ctype.Strip(v.Type)
 	switch op {
 	case ast.OpNeg:
@@ -339,6 +345,9 @@ func (c *Ctx) Unary(op ast.Op, v Value) (Value, error) {
 // Deref dereferences pointer rvalue p, producing an lvalue of the pointee.
 // Dereferencing a function pointer yields the function designator.
 func (c *Ctx) Deref(p Value) (Value, error) {
+	if p.IsPoison() {
+		return p, nil
+	}
 	st := ctype.Strip(p.Type)
 	pt, ok := st.(*ctype.Pointer)
 	if !ok {
@@ -353,6 +362,9 @@ func (c *Ctx) Deref(p Value) (Value, error) {
 // Index applies C's e1[e2]: one operand must be a pointer (arrays have
 // already decayed), the other an integer.
 func (c *Ctx) Index(base, idx Value) (Value, error) {
+	if p, ok := PoisonOf(base, idx); ok {
+		return p, nil
+	}
 	bt, it := ctype.Strip(base.Type), ctype.Strip(idx.Type)
 	if ctype.IsInteger(bt) && ctype.IsPointer(it) {
 		base, idx = idx, base
@@ -375,6 +387,9 @@ func (c *Ctx) Index(base, idx Value) (Value, error) {
 
 // AddrOf takes the address of an lvalue (or function designator).
 func (c *Ctx) AddrOf(v Value) (Value, error) {
+	if v.IsPoison() {
+		return v, nil
+	}
 	st := ctype.Strip(v.Type)
 	if !v.IsLvalue {
 		return Value{}, typeErrf(v, "cannot take the address of an rvalue")
@@ -389,6 +404,9 @@ func (c *Ctx) AddrOf(v Value) (Value, error) {
 // yield lvalue fields (including bitfields); rvalue structs yield rvalue
 // fields extracted from the bytes.
 func (c *Ctx) Field(v Value, name string) (Value, error) {
+	if v.IsPoison() {
+		return v, nil
+	}
 	st, ok := ctype.Strip(v.Type).(*ctype.Struct)
 	if !ok {
 		return Value{}, evalErrf(v, "request for member %q in non-struct type %s", name, v.Type)

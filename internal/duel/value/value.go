@@ -10,6 +10,7 @@
 package value
 
 import (
+	"errors"
 	"fmt"
 
 	"duel/internal/ctype"
@@ -85,7 +86,59 @@ type Value struct {
 	// handle whose fields are the frame's locals (extension).
 	FrameScope int // frame level + 1; 0 = not a frame scope
 
+	// Err marks an error value (Options.Eval.ErrorValues containment, an
+	// extension): the element could not be produced because of a target
+	// fault, and Err says why. Sym still carries the derivation, so the
+	// display layer can print the paper-style symbolic diagnosis
+	// ("x[3]->p: unmapped address 0x16820") while the enclosing generator
+	// keeps enumerating. Error values poison operators: any operation on
+	// one yields it unchanged.
+	Err error
+
 	Sym Sym
+}
+
+// Poison returns an error value carrying sym's derivation and err.
+func Poison(sym Sym, err error) Value { return Value{Sym: sym, Err: err} }
+
+// IsPoison reports whether v is an error value.
+func (v Value) IsPoison() bool { return v.Err != nil }
+
+// PoisonOf returns the first error value among vs, if any.
+func PoisonOf(vs ...Value) (Value, bool) {
+	for _, v := range vs {
+		if v.IsPoison() {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+// ErrText returns the concise diagnosis of an error value, e.g.
+// "unmapped address 0x16820" or "transient fault at 0x1000".
+func (v Value) ErrText() string {
+	if v.Err == nil {
+		return ""
+	}
+	var f *memio.Fault
+	if errors.As(v.Err, &f) {
+		switch f.Kind {
+		case memio.KindUnmapped:
+			return fmt.Sprintf("unmapped address 0x%x", f.Addr)
+		case memio.KindShort:
+			return fmt.Sprintf("short %s at 0x%x", f.Op, f.Addr)
+		case memio.KindTransient:
+			return fmt.Sprintf("transient fault at 0x%x", f.Addr)
+		}
+		return f.Error()
+	}
+	var me *MemError
+	if errors.As(v.Err, &me) {
+		// An illegal reference with no underlying typed fault: a null or
+		// garbage pointer (the paper's 0x16820 case).
+		return fmt.Sprintf("unmapped address 0x%x", me.Addr)
+	}
+	return v.Err.Error()
 }
 
 // WithSym returns a copy of v carrying the given symbolic value.
@@ -211,6 +264,9 @@ func (v Value) IsZero() bool {
 // (bitfields are extracted and extended), arrays decay to pointers to their
 // first element, and function designators decay to their entry address.
 func (c *Ctx) Rval(v Value) (Value, error) {
+	if v.IsPoison() {
+		return v, nil
+	}
 	st := ctype.Strip(v.Type)
 	if a, ok := st.(*ctype.Array); ok {
 		if !v.IsLvalue {
@@ -250,6 +306,9 @@ func (c *Ctx) Rval(v Value) (Value, error) {
 // Store assigns rvalue src into lvalue dst (with conversion to dst's type),
 // handling bitfields with read-modify-write.
 func (c *Ctx) Store(dst, src Value) error {
+	if p, ok := PoisonOf(dst, src); ok {
+		return p.Err
+	}
 	if !dst.IsLvalue {
 		return typeErrf(dst, "not an lvalue")
 	}
@@ -283,6 +342,9 @@ func (c *Ctx) Store(dst, src Value) error {
 // Convert converts rvalue v to type t following C's conversion rules.
 // Struct-to-same-struct passes through; anything else requires scalars.
 func (c *Ctx) Convert(v Value, t ctype.Type) (Value, error) {
+	if v.IsPoison() {
+		return v, nil
+	}
 	from := ctype.Strip(v.Type)
 	to := ctype.Strip(t)
 	if from == to || ctype.Equal(from, to) {
@@ -327,6 +389,9 @@ func (c *Ctx) Convert(v Value, t ctype.Type) (Value, error) {
 
 // Truth reports whether scalar rvalue v is non-zero, giving C's truth test.
 func (c *Ctx) Truth(v Value) (bool, error) {
+	if v.IsPoison() {
+		return false, nil
+	}
 	st := ctype.Strip(v.Type)
 	if !ctype.IsScalar(st) {
 		return false, typeErrf(v, "%s is not a scalar", v.Type)

@@ -46,7 +46,7 @@ func TestMakeAndExtract(t *testing.T) {
 func TestRvalLoadsAndDecays(t *testing.T) {
 	c, f := newCtx()
 	a := c.Arch
-	vi := f.DefineVar("x", a.Int)
+	vi := f.MustVar("x", a.Int)
 	_ = f.PutTargetBytes(vi.Addr, []byte{42, 0, 0, 0})
 	lv := Lvalue(a.Int, vi.Addr)
 	rv, err := c.Rval(lv)
@@ -54,7 +54,7 @@ func TestRvalLoadsAndDecays(t *testing.T) {
 		t.Errorf("Rval lvalue: %v %v", rv.AsInt(), err)
 	}
 	// Array decay.
-	arr := f.DefineVar("arr", a.ArrayOf(a.Int, 4))
+	arr := f.MustVar("arr", a.ArrayOf(a.Int, 4))
 	av := Lvalue(arr.Type, arr.Addr)
 	pv, err := c.Rval(av)
 	if err != nil {
@@ -79,7 +79,7 @@ func TestRvalLoadsAndDecays(t *testing.T) {
 func TestStoreAndConvert(t *testing.T) {
 	c, f := newCtx()
 	a := c.Arch
-	vi := f.DefineVar("s", a.Short)
+	vi := f.MustVar("s", a.Short)
 	lv := Lvalue(a.Short, vi.Addr)
 	if err := c.Store(lv, MakeInt(a.Int, 0x12345)); err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func TestBitfields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vi := f.DefineVar("fl", s)
+	vi := f.MustVar("fl", s)
 	sv := Lvalue(s, vi.Addr)
 	lo, _ := c.Field(sv, "lo")
 	mid, _ := c.Field(sv, "mid")
@@ -304,7 +304,7 @@ func TestDerefIndexField(t *testing.T) {
 		{Name: "scope", Type: a.Int},
 		{Name: "next", Type: a.Ptr(sym)},
 	})
-	vi := f.DefineVar("s", sym)
+	vi := f.MustVar("s", sym)
 	_ = f.PutTargetBytes(vi.Addr+4, []byte{9, 0, 0, 0}) // scope = 9
 
 	sv := Lvalue(sym, vi.Addr)
@@ -338,7 +338,7 @@ func TestDerefIndexField(t *testing.T) {
 	}
 
 	// Indexing.
-	arr := f.DefineVar("arr", a.ArrayOf(a.Int, 8))
+	arr := f.MustVar("arr", a.ArrayOf(a.Int, 8))
 	_ = f.PutTargetBytes(arr.Addr+12, []byte{7, 0, 0, 0})
 	base, _ := c.Rval(Lvalue(arr.Type, arr.Addr))
 	ev, err := c.Index(base, MakeInt(a.Int, 3))

@@ -47,14 +47,25 @@ func New(model ctype.Model, ramSize int) *Fake {
 	}
 }
 
-// DefineVar allocates a zeroed variable and registers it.
-func (f *Fake) DefineVar(name string, t ctype.Type) dbgif.VarInfo {
+// DefineVar allocates a zeroed variable and registers it. It reports an
+// error (rather than panicking) when the RAM is exhausted, so a malformed
+// setup cannot kill the process hosting the session.
+func (f *Fake) DefineVar(name string, t ctype.Type) (dbgif.VarInfo, error) {
 	addr, err := f.AllocTargetSpace(t.Size(), t.Align())
 	if err != nil {
-		panic(err)
+		return dbgif.VarInfo{}, fmt.Errorf("fakedbg: defining %q: %w", name, err)
 	}
 	vi := dbgif.VarInfo{Name: name, Type: t, Addr: addr}
 	f.Vars[name] = vi
+	return vi, nil
+}
+
+// MustVar is DefineVar for tests, in the repo's Must* idiom.
+func (f *Fake) MustVar(name string, t ctype.Type) dbgif.VarInfo {
+	vi, err := f.DefineVar(name, t)
+	if err != nil {
+		panic(err)
+	}
 	return vi
 }
 

@@ -15,10 +15,10 @@ func TestConformance(t *testing.T) {
 	f := fakedbg.New(ctype.ILP32, 1<<16)
 	a := f.A
 
-	g := f.DefineVar("g", a.Int)
+	g := f.MustVar("g", a.Int)
 	_ = f.PutTargetBytes(g.Addr, []byte{42, 0, 0, 0})
 
-	arr := f.DefineVar("arr", a.ArrayOf(a.Int, 4))
+	arr := f.MustVar("arr", a.ArrayOf(a.Int, 4))
 	for i := 0; i < 4; i++ {
 		_ = f.PutTargetBytes(arr.Addr+uint64(4*i), []byte{byte(i + 1), 0, 0, 0})
 	}
@@ -26,7 +26,7 @@ func TestConformance(t *testing.T) {
 	// msg -> "hi"
 	strAddr, _ := f.AllocTargetSpace(3, 1)
 	_ = f.PutTargetBytes(strAddr, []byte{'h', 'i', 0})
-	msg := f.DefineVar("msg", a.Ptr(a.Char))
+	msg := f.MustVar("msg", a.Ptr(a.Char))
 	_ = f.PutTargetBytes(msg.Addr, []byte{byte(strAddr), byte(strAddr >> 8), byte(strAddr >> 16), byte(strAddr >> 24)})
 
 	pair, _ := a.StructOf("pair",
@@ -34,7 +34,7 @@ func TestConformance(t *testing.T) {
 		ctype.FieldSpec{Name: "y", Type: a.Int},
 	)
 	f.Structs["pair"] = pair
-	pt := f.DefineVar("pt", pair)
+	pt := f.MustVar("pt", pair)
 	_ = f.PutTargetBytes(pt.Addr, []byte{7, 0, 0, 0, 8, 0, 0, 0})
 
 	f.Typedefs["myint"] = a.Int
@@ -56,7 +56,7 @@ func TestConformance(t *testing.T) {
 func TestFrameResolution(t *testing.T) {
 	f := fakedbg.New(ctype.ILP32, 1<<12)
 	a := f.A
-	g := f.DefineVar("v", a.Int)
+	g := f.MustVar("v", a.Int)
 	_ = f.PutTargetBytes(g.Addr, []byte{1, 0, 0, 0})
 	loc, _ := f.AllocTargetSpace(4, 4)
 	_ = f.PutTargetBytes(loc, []byte{2, 0, 0, 0})

@@ -1,0 +1,308 @@
+package faultdbg_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"duel/internal/ctype"
+	"duel/internal/dbgif"
+	"duel/internal/dbgif/dbgiftest"
+	"duel/internal/fakedbg"
+	"duel/internal/faultdbg"
+	"duel/internal/memio"
+)
+
+// newFake builds a small healthy target: int g = 42 and an int array
+// arr[8] = {0,1,...,7}.
+func newFake(t *testing.T) (*fakedbg.Fake, dbgif.VarInfo, dbgif.VarInfo) {
+	t.Helper()
+	f := fakedbg.New(ctype.ILP32, 1<<14)
+	g := f.MustVar("g", f.A.Int)
+	if err := f.PutTargetBytes(g.Addr, []byte{42, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	arr := f.MustVar("arr", f.A.ArrayOf(f.A.Int, 8))
+	for i := 0; i < 8; i++ {
+		if err := f.PutTargetBytes(arr.Addr+uint64(4*i), []byte{byte(i), 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, g, arr
+}
+
+// TestZeroPlanTransparent checks that an unarmed injector is a byte-exact
+// pass-through.
+func TestZeroPlanTransparent(t *testing.T) {
+	f, g, _ := newFake(t)
+	inj := faultdbg.New(f, faultdbg.Plan{})
+	if inj.Armed() {
+		t.Fatal("zero plan reports armed")
+	}
+	for i := 0; i < 100; i++ {
+		b, err := inj.GetTargetBytes(g.Addr, 4)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if b[0] != 42 {
+			t.Fatalf("read %d: got %d", i, b[0])
+		}
+	}
+	st := inj.Stats()
+	if st.Ops != 100 || st.Total() != 0 {
+		t.Fatalf("stats = %v, want 100 ops, 0 injected", st)
+	}
+}
+
+// TestDeterministicSchedule checks that the same plan over the same operation
+// sequence injects the same faults at the same positions.
+func TestDeterministicSchedule(t *testing.T) {
+	f, g, _ := newFake(t)
+	plan := faultdbg.Plan{
+		Seed:  7,
+		Rates: map[faultdbg.Kind]float64{faultdbg.Unmapped: 0.2, faultdbg.Transient: 0.1},
+	}
+	run := func() []bool {
+		inj := faultdbg.New(f, plan)
+		var outcome []bool
+		for i := 0; i < 200; i++ {
+			_, err := inj.GetTargetBytes(g.Addr, 4)
+			outcome = append(outcome, err != nil)
+		}
+		return outcome
+	}
+	a, b := run(), run()
+	injected := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d", i)
+		}
+		if a[i] {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("rates 0.2+0.1 over 200 ops injected nothing")
+	}
+	// Re-arming the same plan resets the PRNG to the same stream.
+	inj := faultdbg.New(f, plan)
+	for i := 0; i < 200; i++ {
+		_, err := inj.GetTargetBytes(g.Addr, 4)
+		if (err != nil) != a[i] {
+			t.Fatalf("fresh injector diverges at op %d", i)
+		}
+	}
+}
+
+// TestScriptPinsExactOperation checks that a Script entry fires on exactly the
+// named operation and produces a typed, classified fault.
+func TestScriptPinsExactOperation(t *testing.T) {
+	f, g, _ := newFake(t)
+	inj := faultdbg.New(f, faultdbg.Plan{
+		Script: []faultdbg.ScriptEntry{{Op: 3, Kind: faultdbg.Unmapped}},
+	})
+	for i := 1; i <= 5; i++ {
+		_, err := inj.GetTargetBytes(g.Addr, 4)
+		if i != 3 {
+			if err != nil {
+				t.Fatalf("op %d: unexpected error %v", i, err)
+			}
+			continue
+		}
+		var flt *memio.Fault
+		if !errors.As(err, &flt) {
+			t.Fatalf("op 3: error %v is not a *memio.Fault", err)
+		}
+		if flt.Kind != memio.KindUnmapped || flt.Addr != g.Addr {
+			t.Fatalf("op 3: fault = %+v, want unmapped at 0x%x", flt, g.Addr)
+		}
+		if !errors.Is(err, faultdbg.ErrInjected) {
+			t.Fatalf("op 3: fault does not wrap ErrInjected: %v", err)
+		}
+	}
+}
+
+// TestKindClassification checks that each kind surfaces as the documented
+// error shape on its operation class.
+func TestKindClassification(t *testing.T) {
+	f, g, _ := newFake(t)
+
+	arm := func(k faultdbg.Kind) *faultdbg.Injector {
+		return faultdbg.New(f, faultdbg.Plan{
+			Rates: map[faultdbg.Kind]float64{k: 1},
+			Hang:  5 * time.Millisecond,
+		})
+	}
+	wantFault := func(err error, kind memio.Kind) {
+		t.Helper()
+		var flt *memio.Fault
+		if !errors.As(err, &flt) || flt.Kind != kind {
+			t.Fatalf("error %v, want *memio.Fault of kind %v", err, kind)
+		}
+		if !errors.Is(err, faultdbg.ErrInjected) {
+			t.Fatalf("fault does not wrap ErrInjected: %v", err)
+		}
+	}
+
+	_, err := arm(faultdbg.Unmapped).GetTargetBytes(g.Addr, 4)
+	wantFault(err, memio.KindUnmapped)
+
+	_, err = arm(faultdbg.Short).GetTargetBytes(g.Addr, 4)
+	wantFault(err, memio.KindShort)
+
+	_, err = arm(faultdbg.Transient).GetTargetBytes(g.Addr, 4)
+	wantFault(err, memio.KindTransient)
+	if !memio.IsTransient(err) {
+		t.Fatalf("injected transient is not memio.IsTransient: %v", err)
+	}
+
+	err = arm(faultdbg.Transient).PutTargetBytes(g.Addr, []byte{1, 0, 0, 0})
+	wantFault(err, memio.KindTransient)
+
+	_, err = arm(faultdbg.AllocFail).AllocTargetSpace(16, 4)
+	if !errors.Is(err, faultdbg.ErrInjected) {
+		t.Fatalf("alloc error %v does not wrap ErrInjected", err)
+	}
+
+	_, err = arm(faultdbg.CallFail).CallTargetFunc(0x9000, nil)
+	wantFault(err, memio.KindOther)
+
+	start := time.Now()
+	_, err = arm(faultdbg.CallHang).CallTargetFunc(0x9000, nil)
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("call hang returned after %v, want >= 5ms", elapsed)
+	}
+	wantFault(err, memio.KindOther)
+
+	// Latency passes the operation through unchanged after the delay.
+	inj := faultdbg.New(f, faultdbg.Plan{
+		Rates:   map[faultdbg.Kind]float64{faultdbg.Latency: 1},
+		Latency: time.Millisecond,
+	})
+	b, err := inj.GetTargetBytes(g.Addr, 4)
+	if err != nil || b[0] != 42 {
+		t.Fatalf("latency read = %v, %v; want 42, nil", b, err)
+	}
+}
+
+// TestInterruptReleasesHang checks that Interrupt unblocks a wedged target
+// call long before the hang bound, and that Resume re-arms it.
+func TestInterruptReleasesHang(t *testing.T) {
+	f, _, _ := newFake(t)
+	inj := faultdbg.New(f, faultdbg.Plan{
+		Rates: map[faultdbg.Kind]float64{faultdbg.CallHang: 1},
+		Hang:  time.Minute,
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := inj.CallTargetFunc(0x9000, nil)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	inj.Interrupt()
+	select {
+	case err := <-done:
+		if !errors.Is(err, faultdbg.ErrInterrupted) {
+			t.Fatalf("released hang returned %v, want ErrInterrupted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Interrupt did not release the hang")
+	}
+	// After Resume the next hang blocks again (checked with a short bound).
+	inj.Resume()
+	inj.Arm(faultdbg.Plan{
+		Rates: map[faultdbg.Kind]float64{faultdbg.CallHang: 1},
+		Hang:  5 * time.Millisecond,
+	})
+	start := time.Now()
+	if _, err := inj.CallTargetFunc(0x9000, nil); errors.Is(err, faultdbg.ErrInterrupted) {
+		t.Fatalf("post-Resume hang still interrupted: %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("post-Resume hang did not block")
+	}
+}
+
+// TestAfterAndLimit checks the warm-up window and the injection cap.
+func TestAfterAndLimit(t *testing.T) {
+	f, g, _ := newFake(t)
+	inj := faultdbg.New(f, faultdbg.Plan{
+		Rates: map[faultdbg.Kind]float64{faultdbg.Unmapped: 1},
+		After: 3,
+		Limit: 2,
+	})
+	var failures []int
+	for i := 1; i <= 10; i++ {
+		if _, err := inj.GetTargetBytes(g.Addr, 4); err != nil {
+			failures = append(failures, i)
+		}
+	}
+	if len(failures) != 2 || failures[0] != 4 || failures[1] != 5 {
+		t.Fatalf("failures at ops %v, want [4 5] (After=3, Limit=2)", failures)
+	}
+	if got := inj.Stats().Total(); got != 2 {
+		t.Fatalf("injected %d, want 2", got)
+	}
+}
+
+// TestDisarmRestoresTransparency checks Disarm and the Armed report.
+func TestDisarmRestoresTransparency(t *testing.T) {
+	f, g, _ := newFake(t)
+	inj := faultdbg.New(f, faultdbg.Plan{Rates: map[faultdbg.Kind]float64{faultdbg.Unmapped: 1}})
+	if !inj.Armed() {
+		t.Fatal("armed plan reports unarmed")
+	}
+	if _, err := inj.GetTargetBytes(g.Addr, 4); err == nil {
+		t.Fatal("armed unmapped rate 1 injected nothing")
+	}
+	inj.Disarm()
+	if inj.Armed() {
+		t.Fatal("disarmed injector reports armed")
+	}
+	if _, err := inj.GetTargetBytes(g.Addr, 4); err != nil {
+		t.Fatalf("disarmed injector still injects: %v", err)
+	}
+}
+
+// TestConformanceTransparent runs the narrow-interface battery through an
+// unarmed injector: the middleware must be invisible when the plan is empty.
+func TestConformanceTransparent(t *testing.T) {
+	f := fakedbg.New(ctype.ILP32, 1<<16)
+	a := f.A
+
+	g := f.MustVar("g", a.Int)
+	_ = f.PutTargetBytes(g.Addr, []byte{42, 0, 0, 0})
+
+	arr := f.MustVar("arr", a.ArrayOf(a.Int, 4))
+	for i := 0; i < 4; i++ {
+		_ = f.PutTargetBytes(arr.Addr+uint64(4*i), []byte{byte(i + 1), 0, 0, 0})
+	}
+
+	strAddr, _ := f.AllocTargetSpace(3, 1)
+	_ = f.PutTargetBytes(strAddr, []byte{'h', 'i', 0})
+	msg := f.MustVar("msg", a.Ptr(a.Char))
+	_ = f.PutTargetBytes(msg.Addr, []byte{byte(strAddr), byte(strAddr >> 8), byte(strAddr >> 16), byte(strAddr >> 24)})
+
+	pair, _ := a.StructOf("pair",
+		ctype.FieldSpec{Name: "x", Type: a.Int},
+		ctype.FieldSpec{Name: "y", Type: a.Int},
+	)
+	f.Structs["pair"] = pair
+	pt := f.MustVar("pt", pair)
+	_ = f.PutTargetBytes(pt.Addr, []byte{7, 0, 0, 0, 8, 0, 0, 0})
+
+	f.Typedefs["myint"] = a.Int
+	f.Enums["color"] = a.EnumOf("color", []ctype.EnumConst{{Name: "RED", Value: 0}, {Name: "BLUE", Value: 6}})
+
+	ft := a.FuncOf(a.Int, []ctype.Type{a.Int}, false)
+	fn := dbgif.VarInfo{Name: "twice", Type: ft, Addr: 0x9000}
+	f.Vars["twice"] = fn
+	f.Funcs[0x9000] = func(args []dbgif.Value) (dbgif.Value, error) {
+		v := int64(args[0].Bytes[0]) * 2
+		return dbgif.Value{Type: a.Int, Bytes: []byte{byte(v), 0, 0, 0}}, nil
+	}
+
+	dbgiftest.Run(t, dbgiftest.Fixture{
+		D: faultdbg.New(f, faultdbg.Plan{}), G: g, Arr: arr, Msg: msg, Pt: pt, Fn: fn, Pair: pair,
+	})
+}

@@ -30,9 +30,12 @@ package memio
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"duel/internal/dbgif"
 )
@@ -41,6 +44,15 @@ import (
 const (
 	DefaultPageSize = 256
 	DefaultMaxPages = 1024
+
+	// DefaultRetries is the number of extra attempts after a transient
+	// fault before the fault is surfaced to the engine.
+	DefaultRetries = 3
+	// DefaultRetryBackoff is the first retry delay; each further retry
+	// doubles it, capped at DefaultRetryCap.
+	DefaultRetryBackoff = 100 * time.Microsecond
+	// DefaultRetryCap bounds one backoff sleep.
+	DefaultRetryCap = 10 * time.Millisecond
 )
 
 // Op identifies the interface operation a Fault arose from.
@@ -79,6 +91,11 @@ const (
 	KindShort
 	// KindOther: the host debugger failed for some other reason.
 	KindOther
+	// KindTransient: the operation failed for a reason that may clear on
+	// retry — a dropped remote round-trip, a momentarily wedged target.
+	// The Accessor retries transient faults with capped exponential
+	// backoff before surfacing them.
+	KindTransient
 )
 
 func (k Kind) String() string {
@@ -87,8 +104,29 @@ func (k Kind) String() string {
 		return "unmapped"
 	case KindShort:
 		return "short"
+	case KindTransient:
+		return "transient"
 	}
 	return "failed"
+}
+
+// ErrTransient marks a host-debugger error as retryable. Hosts that cannot
+// construct a *Fault directly wrap this sentinel (errors.Is) to request
+// retry-with-backoff from the Accessor.
+var ErrTransient = errors.New("memio: transient target fault")
+
+// ErrInterrupted is the underlying error of operations aborted by an
+// Interrupt request (evaluation deadline). It is never retried.
+var ErrInterrupted = errors.New("memio: operation interrupted")
+
+// IsTransient reports whether err asks for a retry: a Fault classified
+// KindTransient, or any error wrapping ErrTransient.
+func IsTransient(err error) bool {
+	var f *Fault
+	if errors.As(err, &f) && f.Kind == KindTransient {
+		return true
+	}
+	return errors.Is(err, ErrTransient)
 }
 
 // Fault is the typed error for a failed target-memory operation. It replaces
@@ -105,7 +143,7 @@ type Fault struct {
 
 func (f *Fault) Error() string {
 	s := fmt.Sprintf("memio: %s %s of %d bytes at 0x%x", f.Kind, f.Op, f.Len, f.Addr)
-	if f.Kind == KindOther && f.Err != nil {
+	if (f.Kind == KindOther || f.Kind == KindTransient) && f.Err != nil {
 		s += ": " + f.Err.Error()
 	}
 	return s
@@ -124,6 +162,13 @@ type Config struct {
 	// MaxPages bounds the number of resident pages (LRU eviction).
 	// 0 means DefaultMaxPages.
 	MaxPages int
+	// Retries is the number of extra attempts after a transient fault
+	// (see IsTransient). 0 means DefaultRetries; negative disables
+	// retrying entirely.
+	Retries int
+	// RetryBackoff is the first retry delay (doubled per retry, capped at
+	// DefaultRetryCap). 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
 
 // Stats counts the memory traffic of one Accessor.
@@ -140,6 +185,9 @@ type Stats struct {
 	Evictions     int64 // pages dropped by the LRU bound
 	Invalidations int64 // pages dropped by writes, allocs and call flushes
 	Flushes       int64 // conservative whole-cache flushes (target calls)
+
+	Transients int64 // transient faults observed (including retried-away ones)
+	Retries    int64 // retry attempts issued after transient faults
 }
 
 // Accessor is the single gateway for target-memory traffic. It implements
@@ -149,11 +197,12 @@ type Stats struct {
 type Accessor struct {
 	dbgif.Debugger // host debugger; symbol/type/frame calls delegate to it
 
-	cfg   Config
-	mu    sync.Mutex
-	pages map[uint64]*list.Element
-	lru   *list.List // front = most recently used; elements hold *page
-	stats Stats
+	cfg         Config
+	interrupted atomic.Bool // set by Interrupt: fail fast, skip retries
+	mu          sync.Mutex
+	pages       map[uint64]*list.Element
+	lru         *list.List // front = most recently used; elements hold *page
+	stats       Stats
 }
 
 type page struct {
@@ -170,6 +219,14 @@ func New(d dbgif.Debugger, cfg Config) *Accessor {
 	cfg.PageSize = 1 << bits.Len(uint(cfg.PageSize-1)) // round up to 2^k
 	if cfg.MaxPages <= 0 {
 		cfg.MaxPages = DefaultMaxPages
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = DefaultRetries
+	} else if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
 	}
 	a := &Accessor{Debugger: d, cfg: cfg}
 	if cfg.Cache {
@@ -212,6 +269,48 @@ func (a *Accessor) CachedPages() int {
 	return a.lru.Len()
 }
 
+// Interrupt implements dbgif.Interrupter: subsequent (and, if the wrapped
+// debugger cooperates, in-flight) operations fail fast with ErrInterrupted
+// instead of issuing host round-trips or sleeping in retry backoff. The
+// evaluation deadline calls it when a session runs out of time.
+func (a *Accessor) Interrupt() {
+	a.interrupted.Store(true)
+	dbgif.Interrupt(a.Debugger)
+}
+
+// Resume implements dbgif.Interrupter, clearing a previous Interrupt.
+func (a *Accessor) Resume() {
+	a.interrupted.Store(false)
+	dbgif.Resume(a.Debugger)
+}
+
+// interruptedErr builds the fail-fast error for interrupted operations.
+func (a *Accessor) interruptedErr(op Op, addr uint64, n int) error {
+	return &Fault{Addr: addr, Len: n, Op: op, Kind: KindOther, Err: ErrInterrupted}
+}
+
+// withRetry runs do, retrying transient faults (IsTransient) with capped
+// exponential backoff. Non-transient errors and exhausted retries surface
+// unchanged; an Interrupt request stops retrying immediately.
+func (a *Accessor) withRetry(do func() error) error {
+	backoff := a.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := do()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		a.stats.Transients++
+		if attempt >= a.cfg.Retries || a.interrupted.Load() {
+			return err
+		}
+		a.stats.Retries++
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > DefaultRetryCap {
+			backoff = DefaultRetryCap
+		}
+	}
+}
+
 // Flush drops every cached page.
 func (a *Accessor) Flush() {
 	a.mu.Lock()
@@ -240,6 +339,9 @@ func (a *Accessor) GetTargetBytes(addr uint64, n int) ([]byte, error) {
 	if n > 0 {
 		a.stats.ReadBytes += int64(n)
 	}
+	if a.interrupted.Load() {
+		return nil, a.interruptedErr(OpRead, addr, n)
+	}
 	if !a.cfg.Cache || n <= 0 || addr+uint64(n) < addr {
 		b, err := a.hostRead(addr, n)
 		if err != nil {
@@ -266,14 +368,21 @@ func (a *Accessor) GetTargetBytes(addr uint64, n int) ([]byte, error) {
 	return out, nil
 }
 
-// hostRead issues one GetTargetBytes round-trip to the host debugger.
+// hostRead issues one GetTargetBytes round-trip to the host debugger,
+// retrying transient faults.
 func (a *Accessor) hostRead(addr uint64, n int) ([]byte, error) {
-	a.stats.HostReads++
-	b, err := a.Debugger.GetTargetBytes(addr, n)
-	if err == nil {
-		a.stats.HostBytes += int64(len(b))
+	var b []byte
+	err := a.withRetry(func() error {
+		a.stats.HostReads++
+		var rerr error
+		b, rerr = a.Debugger.GetTargetBytes(addr, n)
+		return rerr
+	})
+	if err != nil {
+		return nil, err
 	}
-	return b, err
+	a.stats.HostBytes += int64(len(b))
+	return b, nil
 }
 
 // pageFor returns the resident page at base, filling it from the host if the
@@ -310,7 +419,12 @@ func (a *Accessor) PutTargetBytes(addr uint64, b []byte) error {
 	defer a.mu.Unlock()
 	a.stats.Writes++
 	a.stats.WriteBytes += int64(len(b))
-	if err := a.Debugger.PutTargetBytes(addr, b); err != nil {
+	if a.interrupted.Load() {
+		return a.interruptedErr(OpWrite, addr, len(b))
+	}
+	// Writes are idempotent at this interface, so transient faults retry
+	// exactly like reads.
+	if err := a.withRetry(func() error { return a.Debugger.PutTargetBytes(addr, b) }); err != nil {
 		return a.fault(OpWrite, addr, len(b), err)
 	}
 	a.invalidate(addr, len(b))
@@ -363,6 +477,11 @@ func (a *Accessor) AllocTargetSpace(n, align int) (uint64, error) {
 // host call: the callee can re-enter this accessor (watchpoints and
 // breakpoint conditions evaluate DUEL expressions mid-call).
 func (a *Accessor) CallTargetFunc(addr uint64, args []dbgif.Value) (dbgif.Value, error) {
+	if a.interrupted.Load() {
+		return dbgif.Value{}, a.interruptedErr(OpCall, addr, 0)
+	}
+	// Calls are never retried: the callee may have taken effect before a
+	// transient fault was reported.
 	out, err := a.Debugger.CallTargetFunc(addr, args)
 	a.Flush()
 	return out, err
@@ -395,6 +514,8 @@ func (a *Accessor) fault(op Op, addr uint64, n int, err error) error {
 	}
 	kind := KindOther
 	switch {
+	case IsTransient(err):
+		kind = KindTransient
 	case !a.Debugger.ValidTargetAddr(addr, 1):
 		kind = KindUnmapped
 	case n > 0 && !a.Debugger.ValidTargetAddr(addr, n):
@@ -403,4 +524,7 @@ func (a *Accessor) fault(op Op, addr uint64, n int, err error) error {
 	return &Fault{Addr: addr, Len: n, Op: op, Kind: kind, Err: err}
 }
 
-var _ dbgif.Debugger = (*Accessor)(nil)
+var (
+	_ dbgif.Debugger    = (*Accessor)(nil)
+	_ dbgif.Interrupter = (*Accessor)(nil)
+)

@@ -244,22 +244,22 @@ func TestLRUEviction(t *testing.T) {
 func TestConformance(t *testing.T) {
 	f := fakedbg.New(ctype.ILP32, 1<<16)
 	a := f.A
-	g := f.DefineVar("g", a.Int)
+	g := f.MustVar("g", a.Int)
 	_ = f.PutTargetBytes(g.Addr, []byte{42, 0, 0, 0})
-	arr := f.DefineVar("arr", a.ArrayOf(a.Int, 4))
+	arr := f.MustVar("arr", a.ArrayOf(a.Int, 4))
 	for i := 0; i < 4; i++ {
 		_ = f.PutTargetBytes(arr.Addr+uint64(4*i), []byte{byte(i + 1), 0, 0, 0})
 	}
 	strAddr, _ := f.AllocTargetSpace(3, 1)
 	_ = f.PutTargetBytes(strAddr, []byte{'h', 'i', 0})
-	msg := f.DefineVar("msg", a.Ptr(a.Char))
+	msg := f.MustVar("msg", a.Ptr(a.Char))
 	_ = f.PutTargetBytes(msg.Addr, []byte{byte(strAddr), byte(strAddr >> 8), byte(strAddr >> 16), byte(strAddr >> 24)})
 	pair, _ := a.StructOf("pair",
 		ctype.FieldSpec{Name: "x", Type: a.Int},
 		ctype.FieldSpec{Name: "y", Type: a.Int},
 	)
 	f.Structs["pair"] = pair
-	pt := f.DefineVar("pt", pair)
+	pt := f.MustVar("pt", pair)
 	_ = f.PutTargetBytes(pt.Addr, []byte{7, 0, 0, 0, 8, 0, 0, 0})
 	f.Typedefs["myint"] = a.Int
 	f.Enums["color"] = a.EnumOf("color", []ctype.EnumConst{{Name: "RED", Value: 0}, {Name: "BLUE", Value: 6}})

@@ -313,15 +313,6 @@ func Build(name string, stdout io.Writer) (*debugger.Debugger, *microc.Interp, e
 	return d, in, nil
 }
 
-// MustBuild is Build for tests and examples.
-func MustBuild(name string, stdout io.Writer) *debugger.Debugger {
-	d, _, err := Build(name, stdout)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
 // BuildIntArray constructs a process holding "int x[n]" initialized by fill,
 // for the performance experiments (T3/T5/F1). It bypasses micro-C for speed.
 func BuildIntArray(n int, fill func(i int) int64) (*debugger.Debugger, error) {

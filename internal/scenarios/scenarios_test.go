@@ -3,6 +3,8 @@ package scenarios
 import (
 	"bytes"
 	"testing"
+
+	"duel/internal/debugger"
 )
 
 // TestAllScenariosBuild loads and runs every scenario program.
@@ -26,7 +28,7 @@ func TestAllScenariosBuild(t *testing.T) {
 
 // TestScenarioInvariants spot-checks the data each catalog entry relies on.
 func TestScenarioInvariants(t *testing.T) {
-	d := MustBuild(Symtab, nil)
+	d := mustBuild(t, Symtab)
 	p := d.P
 	hash, ok := p.Global("hash")
 	if !ok {
@@ -43,7 +45,7 @@ func TestScenarioInvariants(t *testing.T) {
 	}
 
 	// List: 12 nodes, duplicate 27 at positions 4 and 9.
-	d = MustBuild(List, nil)
+	d = mustBuild(t, List)
 	p = d.P
 	head, _ := p.Global("head")
 	addr, _ := p.PeekInt(head.Addr, head.Type)
@@ -61,7 +63,7 @@ func TestScenarioInvariants(t *testing.T) {
 	}
 
 	// Tree: root key 9.
-	d = MustBuild(Tree, nil)
+	d = mustBuild(t, Tree)
 	p = d.P
 	root, _ := p.Global("root")
 	raddr, _ := p.PeekInt(root.Addr, root.Type)
@@ -126,4 +128,15 @@ func TestBuildLongList(t *testing.T) {
 	if n != 50 {
 		t.Errorf("list length = %d", n)
 	}
+}
+
+// mustBuild fails the test on a Build error (Build returns errors rather
+// than panicking, so a malformed scenario cannot kill the process).
+func mustBuild(t *testing.T, name string) *debugger.Debugger {
+	t.Helper()
+	d, _, err := Build(name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
 }

@@ -179,7 +179,7 @@ func TestErrorMessageFormat(t *testing.T) {
 	if err == nil {
 		t.Skip("struct tag unknown; covered in debugger tests")
 	}
-	d2 := scenarios.MustBuild(scenarios.Symtab, nil)
+	d2 := testScenario(t, scenarios.Symtab)
 	s2 := duel.MustNewSession(d2)
 	_, err = s2.Eval("((struct symbol *)48)->scope")
 	if err == nil {
@@ -194,7 +194,7 @@ func TestErrorMessageFormat(t *testing.T) {
 // TestNullGuardIdiom exercises the paper's "_ &&" guard: evaluating fields
 // through NULL errors, but guarding with _ does not.
 func TestNullGuardIdiom(t *testing.T) {
-	d := scenarios.MustBuild(scenarios.Symtab, nil)
+	d := testScenario(t, scenarios.Symtab)
 	s := duel.MustNewSession(d)
 	// Unguarded: hash[2] is NULL, field access faults.
 	if _, err := s.Eval("hash[2]->scope"); err == nil {
@@ -366,4 +366,15 @@ func TestConcurrentSessionsSharedProcess(t *testing.T) {
 	for err := range errc {
 		t.Error(err)
 	}
+}
+
+// testScenario builds one canned debuggee, failing the test (not the
+// process) on error — scenarios.Build no longer panics.
+func testScenario(t *testing.T, name string) *debugger.Debugger {
+	t.Helper()
+	d, _, err := scenarios.Build(name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
 }
