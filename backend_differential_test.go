@@ -32,7 +32,7 @@ func TestSubstrateDifferential(t *testing.T) {
 		"twice(x[2..5])",
 		"(struct node *) 0 == 0",
 	}
-	for _, backend := range []string{"push", "machine", "chan"} {
+	for _, backend := range []string{"push", "machine", "chan", "compiled"} {
 		t.Run(backend, func(t *testing.T) {
 			fake := execQueries(t, backend, buildFakeDebuggee(t), queries)
 			real := execQueries(t, backend, buildTargetDebuggee(t), queries)
@@ -202,7 +202,7 @@ func TestMemCacheDifferential(t *testing.T) {
 		"twice(x[2..5])",
 		"(struct node *) 0 == 0",
 	}
-	for _, backend := range []string{"push", "machine", "chan"} {
+	for _, backend := range []string{"push", "machine", "chan", "compiled"} {
 		t.Run(backend, func(t *testing.T) {
 			off, offCtrs := execQueriesCounted(t, backend, false, queries)
 			on, onCtrs := execQueriesCounted(t, backend, true, queries)
@@ -213,6 +213,17 @@ func TestMemCacheDifferential(t *testing.T) {
 				if offCtrs[i].TargetReads != onCtrs[i].TargetReads || offCtrs[i].TargetBytes != onCtrs[i].TargetBytes {
 					t.Errorf("query %q: read trace diverged: off reads=%d bytes=%d, on reads=%d bytes=%d",
 						q, offCtrs[i].TargetReads, offCtrs[i].TargetBytes, onCtrs[i].TargetReads, onCtrs[i].TargetBytes)
+				}
+				if backend == "compiled" {
+					// The compiled backend prefetches scan windows, so with
+					// the cache off it crosses the host boundary at most
+					// once per stripe — never more often than the engine
+					// reads it serves.
+					if offCtrs[i].HostReads > offCtrs[i].TargetReads {
+						t.Errorf("query %q: cache-off host reads %d exceed engine reads %d",
+							q, offCtrs[i].HostReads, offCtrs[i].TargetReads)
+					}
+					continue
 				}
 				// Cache off, every engine read is a host round-trip.
 				if offCtrs[i].HostReads != offCtrs[i].TargetReads {
@@ -251,7 +262,7 @@ func execQueriesCounted(t *testing.T, backend string, cache bool, queries []stri
 // TestPaperCatalogAllBackends runs the full paper catalog on every evaluator
 // backend; they must agree line-for-line (experiment T7's correctness leg).
 func TestPaperCatalogAllBackends(t *testing.T) {
-	for _, backend := range []string{"machine", "chan"} {
+	for _, backend := range []string{"machine", "chan", "compiled"} {
 		t.Run(backend, func(t *testing.T) {
 			for _, e := range scenarios.Catalog {
 				t.Run(e.ID, func(t *testing.T) {

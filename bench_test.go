@@ -74,7 +74,9 @@ func benchQuery(b *testing.B, ses *duel.Session, query string, perValue bool) {
 
 func BenchmarkT1Catalog(b *testing.B) {
 	for _, backend := range core.BackendNames() {
-		b.Run(backend, func(b *testing.B) {
+		// cold: scenario build + session + parse + eval per iteration, the
+		// original full-pipeline measurement.
+		b.Run(backend+"/cold", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, e := range scenarios.Catalog {
 					d, _, err := scenarios.Build(e.Scenario, io.Discard)
@@ -87,19 +89,62 @@ func BenchmarkT1Catalog(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					for qi, q := range e.Queries {
-						err := ses.EvalFunc(q, func(duel.Result) error { return nil })
-						if err != nil {
-							// WantErr entries end in an expected error.
-							if len(e.WantErr) > 0 && qi == len(e.Queries)-1 {
-								continue
-							}
-							b.Fatal(err)
-						}
-					}
+					runCatalogEntry(b, ses, e)
 				}
 			}
 		})
+		// reeval: long-lived sessions re-evaluating the same queries — the
+		// watchpoint/REPL-history load. The compiled backend's source→AST
+		// and program caches are warm here; interpreting backends re-parse
+		// and re-walk every time.
+		b.Run(backend+"/reeval", func(b *testing.B) {
+			entries := soakEntries()
+			targets := map[string]*debugger.Debugger{}
+			sessions := make([]*duel.Session, len(entries))
+			for i, e := range entries {
+				d, ok := targets[e.Scenario]
+				if !ok {
+					var err error
+					d, _, err = scenarios.Build(e.Scenario, io.Discard)
+					if err != nil {
+						b.Fatal(err)
+					}
+					targets[e.Scenario] = d
+				}
+				opts := duel.DefaultOptions()
+				opts.Backend = backend
+				ses, err := duel.NewSession(d, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessions[i] = ses
+			}
+			for i, e := range entries {
+				runCatalogEntry(b, sessions[i], e) // warm pass
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, e := range entries {
+					runCatalogEntry(b, sessions[j], e)
+				}
+			}
+		})
+	}
+}
+
+// runCatalogEntry evaluates one catalog entry's queries, tolerating the
+// expected trailing error of WantErr entries.
+func runCatalogEntry(b *testing.B, ses *duel.Session, e scenarios.Entry) {
+	b.Helper()
+	for qi, q := range e.Queries {
+		err := ses.EvalFunc(q, func(duel.Result) error { return nil })
+		if err != nil {
+			// WantErr entries end in an expected error.
+			if len(e.WantErr) > 0 && qi == len(e.Queries)-1 {
+				continue
+			}
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -121,40 +166,53 @@ func benchSessionOpts(b *testing.B, n int, opts duel.Options) *duel.Session {
 // --- T3: the paper's timing example, x[..N] >? 0 ---
 
 func BenchmarkT3Scan(b *testing.B) {
-	for _, n := range []int{1000, 10000, 100000} {
-		for _, cache := range []bool{false, true} {
-			b.Run(fmt.Sprintf("N=%d/cache=%v", n, cache), func(b *testing.B) {
-				opts := duel.DefaultOptions()
-				opts.Eval.MemCache = cache
-				ses := benchSessionOpts(b, n, opts)
-				benchQuery(b, ses, fmt.Sprintf("x[..%d] >? 0", n), true)
-				c := ses.Counters()
-				b.ReportMetric(float64(c.HostReads)/float64(b.N), "hostreads/op")
-			})
+	for _, backend := range []string{"push", "compiled"} {
+		for _, n := range []int{1000, 10000, 100000} {
+			for _, cache := range []bool{false, true} {
+				b.Run(fmt.Sprintf("%s/N=%d/cache=%v", backend, n, cache), func(b *testing.B) {
+					opts := duel.DefaultOptions()
+					opts.Backend = backend
+					opts.Eval.MemCache = cache
+					ses := benchSessionOpts(b, n, opts)
+					benchQuery(b, ses, fmt.Sprintf("x[..%d] >? 0", n), true)
+					reportMemTraffic(b, ses)
+				})
+			}
 		}
 	}
+}
+
+// reportMemTraffic attaches the host-boundary traffic of the timed loop as
+// per-op metrics (benchQuery resets the counters after its warm-up run, so
+// these cover exactly the b.N timed evaluations).
+func reportMemTraffic(b *testing.B, ses *duel.Session) {
+	c := ses.Counters()
+	b.ReportMetric(float64(c.HostReads)/float64(b.N), "hostreads/op")
+	b.ReportMetric(float64(c.HostBytes)/float64(b.N), "hostbytes/op")
 }
 
 // BenchmarkT3ListWalk is the pointer-chasing counterpart of T3Scan: each
 // node costs one pointer load plus one value load, scattered by the
 // allocator rather than laid out sequentially.
 func BenchmarkT3ListWalk(b *testing.B) {
-	for _, cache := range []bool{false, true} {
-		b.Run(fmt.Sprintf("cache=%v", cache), func(b *testing.B) {
-			d, err := scenarios.BuildLongList(1000)
-			if err != nil {
-				b.Fatal(err)
-			}
-			opts := duel.DefaultOptions()
-			opts.Eval.MemCache = cache
-			ses, err := duel.NewSession(d, opts)
-			if err != nil {
-				b.Fatal(err)
-			}
-			benchQuery(b, ses, "head-->next->value", false)
-			c := ses.Counters()
-			b.ReportMetric(float64(c.HostReads)/float64(b.N), "hostreads/op")
-		})
+	for _, backend := range []string{"push", "compiled"} {
+		for _, cache := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/cache=%v", backend, cache), func(b *testing.B) {
+				d, err := scenarios.BuildLongList(1000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := duel.DefaultOptions()
+				opts.Backend = backend
+				opts.Eval.MemCache = cache
+				ses, err := duel.NewSession(d, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchQuery(b, ses, "head-->next->value", false)
+				reportMemTraffic(b, ses)
+			})
+		}
 	}
 }
 

@@ -1,0 +1,155 @@
+// Command benchjson runs the repository's benchmark suite and records the
+// results as a machine-readable JSON artifact, BENCH_<date>.json, suitable
+// for CI upload and cross-commit performance tracking:
+//
+//	benchjson                         # default suite, BENCH_YYYY-MM-DD.json
+//	benchjson -bench T3Scan -out -    # one family, JSON to stdout
+//	benchjson -benchtime 1x           # CI smoke: one iteration per benchmark
+//
+// It shells out to `go test -bench` and parses the standard benchmark output
+// lines generically, so every ReportMetric a benchmark emits (hostreads/op,
+// hostbytes/op, ...) lands in the metrics map alongside ns/op, B/op and
+// allocs/op.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line: its name, iteration count, and every
+// (value, unit) metric pair the harness printed for it.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level artifact schema.
+type Report struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	Bench     string   `json:"bench"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", "T1Catalog|T3Scan|T3ListWalk", "benchmark name pattern (go test -bench)")
+	benchtime := flag.String("benchtime", "", "per-benchmark time or count (go test -benchtime)")
+	out := flag.String("out", "", "output path; default BENCH_<date>.json, \"-\" for stdout")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", *pkg}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: go test:", err)
+		os.Exit(1)
+	}
+
+	report := Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: goVersion(),
+		Bench:     *bench,
+		Benchtime: *benchtime,
+		Results:   parseBench(buf.String()),
+	}
+	if len(report.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results matched", *bench)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + report.Date + ".json"
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if path == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(report.Results), path)
+}
+
+// parseBench extracts benchmark lines from go test output. A line looks
+// like:
+//
+//	BenchmarkT3Scan/push/N=1000/cache=false-8   1234  987 ns/op  1000 hostreads/op  64 B/op  3 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parseBench(out string) []Result {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{
+			Name:       strings.TrimSuffix(f[0], cpuSuffix(f[0])),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			if f[i+1] == "ns/op" {
+				r.NsPerOp = v
+			} else {
+				r.Metrics[f[i+1]] = v
+			}
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// cpuSuffix returns the trailing "-N" GOMAXPROCS marker of a benchmark
+// name, or "" when absent.
+func cpuSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "env", "GOVERSION").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -22,12 +22,15 @@
 package duel
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"io"
 	"iter"
+	"time"
 
 	"duel/internal/core"
+	"duel/internal/core/compiled"
 	"duel/internal/dbgif"
 	"duel/internal/duel/ast"
 	"duel/internal/duel/display"
@@ -39,8 +42,9 @@ import (
 // Options configure a Session.
 type Options struct {
 	// Backend selects the evaluator implementation: "push" (default),
-	// "machine" (the paper's explicit state machines) or "chan"
-	// (goroutine coroutines).
+	// "machine" (the paper's explicit state machines), "chan" (goroutine
+	// coroutines) or "compiled" (AST-to-closure compiler with cached
+	// programs and scan-aware memory prefetch; see internal/core/compiled).
 	Backend string
 	// Eval controls evaluation (symbolic values, cycle detection,
 	// safety limits). Zero value means core.DefaultOptions.
@@ -83,6 +87,26 @@ type Session struct {
 	Backend core.Backend
 	Printer *display.Printer
 	opts    Options
+
+	// gen is the session's type-environment generation; bumping it (on
+	// ClearAliases) invalidates every cached source→AST entry, and with
+	// them the compiled programs keyed off those nodes.
+	gen        uint64
+	srcEntries map[string]*list.Element // nil unless Backend == "compiled"
+	srcLRU     *list.List
+	srcHits    int64
+	srcMisses  int64
+	lastEval   time.Duration
+}
+
+// srcCacheSize bounds the source→AST cache of the compiled backend.
+const srcCacheSize = 128
+
+// srcEntry is one cached parse: the AST for src under generation gen.
+type srcEntry struct {
+	src  string
+	gen  uint64
+	node *ast.Node
 }
 
 // normalizeEval fills in the unset fields of caller-supplied evaluation
@@ -124,7 +148,12 @@ func NewSession(d dbgif.Debugger, opts ...Options) (*Session, error) {
 	env := core.NewEnv(d, o.Eval)
 	pr := display.New(env.Ctx)
 	pr.Symbolic = o.ShowSymbolic
-	return &Session{D: d, Env: env, Backend: b, Printer: pr, opts: o}, nil
+	s := &Session{D: d, Env: env, Backend: b, Printer: pr, opts: o}
+	if o.Backend == "compiled" {
+		s.srcEntries = make(map[string]*list.Element)
+		s.srcLRU = list.New()
+	}
+	return s, nil
 }
 
 // MustNewSession is NewSession for tests and examples.
@@ -141,6 +170,60 @@ func (s *Session) Parse(src string) (*ast.Node, error) {
 	return parser.Parse(src, s.D)
 }
 
+// parseCached resolves src through the session's source→AST cache when the
+// compiled backend is active (reusing the node lets the backend reuse its
+// compiled program too), and falls back to a plain parse otherwise. Trees
+// containing declarations or string literals are never cached: both
+// allocate target storage once per node, so re-submitting the same source
+// must get a fresh tree to behave like a fresh parse.
+func (s *Session) parseCached(src string) (*ast.Node, error) {
+	if s.srcEntries == nil {
+		return s.Parse(src)
+	}
+	if el, ok := s.srcEntries[src]; ok {
+		ent := el.Value.(*srcEntry)
+		if ent.gen == s.gen {
+			s.srcHits++
+			s.srcLRU.MoveToFront(el)
+			return ent.node, nil
+		}
+		delete(s.srcEntries, src)
+		s.srcLRU.Remove(el)
+	}
+	n, err := s.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	s.srcMisses++
+	if !allocatesPerNode(n) {
+		s.srcEntries[src] = s.srcLRU.PushFront(&srcEntry{src: src, gen: s.gen, node: n})
+		for s.srcLRU.Len() > srcCacheSize {
+			back := s.srcLRU.Back()
+			delete(s.srcEntries, back.Value.(*srcEntry).src)
+			s.srcLRU.Remove(back)
+		}
+	}
+	return n, nil
+}
+
+// allocatesPerNode reports whether the tree contains an operator that
+// allocates target storage keyed to node identity (declarations, interned
+// string literals).
+func allocatesPerNode(n *ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	if n.Op == ast.OpDecl || n.Op == ast.OpStr {
+		return true
+	}
+	for _, k := range n.Kids {
+		if allocatesPerNode(k) {
+			return true
+		}
+	}
+	return false
+}
+
 // Eval evaluates a DUEL input and collects all produced values.
 func (s *Session) Eval(src string) ([]Result, error) {
 	var out []Result
@@ -155,7 +238,7 @@ func (s *Session) Eval(src string) ([]Result, error) {
 // paper's top-level driver ("the duel command drives its expression argument
 // and prints all of its values").
 func (s *Session) EvalFunc(src string, f func(Result) error) error {
-	n, err := s.Parse(src)
+	n, err := s.parseCached(src)
 	if err != nil {
 		return err
 	}
@@ -167,6 +250,8 @@ func (s *Session) EvalFunc(src string, f func(Result) error) error {
 // interrupts the session's memory accessor, and internal panics surface as
 // *core.PanicError values instead of killing the process.
 func (s *Session) EvalNode(n *ast.Node, f func(Result) error) error {
+	start := time.Now()
+	defer func() { s.lastEval = time.Since(start) }()
 	return core.Eval(s.Env, s.Backend, n, func(v value.Value) error {
 		text, err := s.Printer.Format(v)
 		if err != nil {
@@ -212,8 +297,25 @@ func (s *Session) Exec(w io.Writer, src string) error {
 }
 
 // ClearAliases drops all aliases and DUEL-declared variables, like
-// restarting the session.
-func (s *Session) ClearAliases() { s.Env.ClearAliases() }
+// restarting the session. The type environment changes with them, so the
+// source→AST cache generation advances and cached parses are invalidated.
+func (s *Session) ClearAliases() {
+	s.Env.ClearAliases()
+	s.gen++
+}
+
+// LastEvalTime reports the wall-clock duration of the most recent EvalNode
+// (zero before the first evaluation).
+func (s *Session) LastEvalTime() time.Duration { return s.lastEval }
+
+// EvalCacheStats reports the compiled fast path's cache effectiveness:
+// source→AST cache hits/misses at the session layer, and compiled-program
+// cache hits/misses plus resident program count inside the backend. All
+// zeros for interpreting backends.
+func (s *Session) EvalCacheStats() (srcHits, srcMisses, progHits, progMisses int64, progs int) {
+	progHits, progMisses, progs = compiled.CacheStats(s.Env)
+	return s.srcHits, s.srcMisses, progHits, progMisses, progs
+}
 
 // Counters exposes the evaluation instrumentation (symbol lookups, operator
 // applications, symbolic compositions, values produced, memory loads) merged

@@ -1,0 +1,100 @@
+package duel_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"duel"
+)
+
+// FuzzEvalDifferential extends the parser fuzzer through the whole
+// evaluation pipeline: any input the parser accepts is executed on both the
+// reference interpreter (push) and the compiled backend against identical
+// debuggees, and the two must agree on the printed output and the error,
+// byte for byte. Run open-ended with
+//
+//	go test -run=NONE -fuzz=FuzzEvalDifferential .
+//
+// The seed corpus (FuzzParse's seeds plus catalog-style queries over the
+// fixture's symbols x, head, twice) runs on every plain `go test`.
+func FuzzEvalDifferential(f *testing.F) {
+	seeds := []string{
+		// Parser fuzzer seeds: mostly unresolvable symbols, exercising the
+		// error paths.
+		"x[..100] >? 0",
+		"hash[0..1023]->scope = 0 ;",
+		"L-->next#i->value ==? L-->next#j->value => if (i < j) L-->next[[i,j]]->value",
+		"int i; for (i = 0; i < 1024; i++) (hash[i] !=? 0)->scope >? 5",
+		`printf("%d %d, ", (3,4), 5..7)`,
+		"s[0..999]@(_=='\\0')",
+		"((1..9)*(1..9))[[52,74]]",
+		"(struct symbol *)p",
+		"a := b => {c}",
+		"x#", "..", "-->", "[[", "?:", "0x", "'", `"`, "##",
+		// Catalog-style queries over the fixture's symbols.
+		"x[..10] >? 4",
+		"+/x[..10]",
+		"#/(x[..10] != 0)",
+		"x[..10] @ (_ < 0)",
+		"x[0..]@(_==5)",
+		"head-->next->value",
+		"head-->>next->value",
+		"head-->next->(value ==? 7)",
+		"twice(x[2..5])",
+		"x[..10] # i => i",
+		"y := x[2..5]",
+		"int z; z = 42; z",
+		"x[0] += 4",
+		"while (x[0] > 0) x[0]--",
+		"(x[..10] >? 0)[[2]]",
+		"x[0] > 0 ? x[1] : x[2]",
+		"(struct node *) 0 == 0",
+		"{x[3]}",
+		`"abc"[1]`,
+		"sizeof(x)",
+		"&x[3]",
+		"*(&x[3])",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 512 {
+			return
+		}
+		pushOut := fuzzExec(t, "push", src)
+		compOut := fuzzExec(t, "compiled", src)
+		if pushOut != compOut {
+			t.Errorf("transcript diverged for %q:\n push:\n%s\n compiled:\n%s",
+				src, indent(pushOut), indent(compOut))
+		}
+	})
+}
+
+// fuzzExec runs src on one backend against a fresh fixture debuggee and
+// returns the full transcript — printed values plus any terminal error, so
+// a query that fails mid-stream still contributes its partial output to the
+// comparison. The fakedbg allocator is deterministic, so both backends see
+// identical addresses and transcripts are directly comparable. Safety
+// limits are tightened (and the wall-clock watchdog disabled — it would
+// make runs timing-dependent) so pathological inputs terminate by step
+// count, not by timeout.
+func fuzzExec(t *testing.T, backend, src string) string {
+	t.Helper()
+	opts := duel.DefaultOptions()
+	opts.Backend = backend
+	opts.Eval.MaxSteps = 20000
+	opts.Eval.MaxOpenRange = 4096
+	opts.Eval.MaxExpand = 4096
+	opts.Eval.Timeout = 0
+	ses, err := duel.NewSession(buildFakeDebuggee(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ses.Exec(&buf, src); err != nil {
+		fmt.Fprintf(&buf, "error: %v\n", err)
+	}
+	return buf.String()
+}

@@ -1,0 +1,70 @@
+// Program cache: compiled closure programs are kept per session (per Env),
+// keyed by AST node identity, in a small LRU. The session layer above
+// (package duel) caches parsed ASTs by source text with a type-environment
+// generation check, so a repeated REPL evaluation resolves source → cached
+// AST → cached program and skips both parse and compile.
+package compiled
+
+import (
+	"container/list"
+
+	"duel/internal/core"
+	"duel/internal/duel/ast"
+)
+
+// maxPrograms bounds the per-session program cache. Programs are closures
+// over small precomputed data, so the bound is about not retaining dead
+// ASTs (the key pins the node tree), not about memory pressure.
+const maxPrograms = 256
+
+type progEntry struct {
+	key *ast.Node
+	p   prog
+}
+
+// progCache is per-Env state (reached through Env.BackendCache), so it
+// needs no locking: an Env evaluates one command at a time.
+type progCache struct {
+	entries map[*ast.Node]*list.Element
+	lru     *list.List // front = most recently used
+	hits    int64
+	misses  int64
+}
+
+// cacheOf returns e's program cache, creating it on first use.
+func cacheOf(e *core.Env) *progCache {
+	if c, ok := e.BackendCache().(*progCache); ok {
+		return c
+	}
+	c := &progCache{entries: make(map[*ast.Node]*list.Element), lru: list.New()}
+	e.SetBackendCache(c)
+	return c
+}
+
+// lookup returns the compiled program for n, compiling on miss and
+// evicting the least recently used program past the bound.
+func (c *progCache) lookup(n *ast.Node) prog {
+	if el, ok := c.entries[n]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*progEntry).p
+	}
+	c.misses++
+	p := compile(n)
+	c.entries[n] = c.lru.PushFront(&progEntry{key: n, p: p})
+	for c.lru.Len() > maxPrograms {
+		back := c.lru.Back()
+		delete(c.entries, back.Value.(*progEntry).key)
+		c.lru.Remove(back)
+	}
+	return p
+}
+
+// CacheStats reports the program-cache counters for e: hits, misses, and
+// resident programs. All zero when e has never run the compiled backend.
+func CacheStats(e *core.Env) (hits, misses int64, size int) {
+	if c, ok := e.BackendCache().(*progCache); ok {
+		return c.hits, c.misses, c.lru.Len()
+	}
+	return 0, 0, 0
+}

@@ -1,0 +1,256 @@
+package compiled_test
+
+import (
+	"fmt"
+	"testing"
+
+	"duel/internal/core"
+	"duel/internal/core/compiled"
+	"duel/internal/ctype"
+	"duel/internal/dbgif"
+	"duel/internal/duel/parser"
+	"duel/internal/duel/value"
+	"duel/internal/fakedbg"
+	"duel/internal/mem"
+)
+
+// buildDebuggee is the differential fixture: int x[10], a 5-node list at
+// head, a native function twice(k) = 2*k.
+func buildDebuggee(t *testing.T) *fakedbg.Fake {
+	t.Helper()
+	f := fakedbg.New(ctype.ILP32, 1<<16)
+	a := f.A
+
+	vals := []int64{3, -1, 4, -1, 5, 9, -2, 6, 0, 7}
+	x := f.MustVar("x", a.ArrayOf(a.Int, len(vals)))
+	for i, v := range vals {
+		if err := f.PutTargetBytes(x.Addr+uint64(4*i), mem.EncodeUint(uint64(v), 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	node := a.NewStruct("node", false)
+	if err := a.SetFields(node, []ctype.FieldSpec{
+		{Name: "value", Type: a.Int},
+		{Name: "next", Type: a.Ptr(node)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.Structs["node"] = node
+
+	head := f.MustVar("head", a.Ptr(node))
+	list := []int64{2, 7, 1, 7, 8}
+	next := uint64(0)
+	for i := len(list) - 1; i >= 0; i-- {
+		addr, err := f.AllocTargetSpace(node.Size(), node.Align())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.PutTargetBytes(addr, mem.EncodeUint(uint64(list[i]), 4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.PutTargetBytes(addr+4, mem.EncodeUint(next, 4)); err != nil {
+			t.Fatal(err)
+		}
+		next = addr
+	}
+	if err := f.PutTargetBytes(head.Addr, mem.EncodeUint(next, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	ft := a.FuncOf(a.Int, []ctype.Type{a.Int}, false)
+	f.Vars["twice"] = dbgif.VarInfo{Name: "twice", Type: ft, Addr: 0x9000}
+	f.Funcs[0x9000] = func(args []dbgif.Value) (dbgif.Value, error) {
+		v := 2 * mem.DecodeInt(args[0].Bytes)
+		return dbgif.Value{Type: a.Int, Bytes: mem.EncodeUint(uint64(v), 4)}, nil
+	}
+	return f
+}
+
+// runBackend evaluates src on one backend against a fresh debuggee,
+// returning the emitted (sym, bytes, type) trace, the final counters, and
+// the evaluation error.
+func runBackend(t *testing.T, backendName, src string, opts core.Options) ([]string, core.Counters, error) {
+	t.Helper()
+	b, err := core.GetBackend(backendName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := buildDebuggee(t)
+	e := core.NewEnv(d, opts)
+	n, err := parser.Parse(src, d)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	var trace []string
+	everr := core.Eval(e, b, n, func(v value.Value) error {
+		trace = append(trace, fmt.Sprintf("%s | % x | %v", v.Sym.S, v.Bytes, v.Type))
+		return nil
+	})
+	return trace, e.Counters(), everr
+}
+
+// parityQueries cover every compiled operator family: constants, unary and
+// binary C operators, ?-comparisons, logic, control, ranges (closed,
+// prefix, open, fused with index), with/arrow scoping, dfs and bfs
+// expansion, select, until, indexof, define, reductions, assignment and
+// compound assignment, declarations (bail path) and calls (bail path).
+var parityQueries = []string{
+	"1+2*3",
+	"-x[0] + !x[1]",
+	"(char)65",
+	"sizeof(int)",
+	"sizeof(x[0])",
+	"x[..10]",
+	"x[2..5]",
+	"x[..10] >? 4",
+	"x[..10] @ (_ < 0)",
+	"x[0..]@(_==5)",
+	"+/x[..10]",
+	"#/(x[..10] != 0)",
+	"&&/(x[..10] > -10)",
+	"||/(x[..10] > 8)",
+	"x[..10] && 1",
+	"x[0] || x[1]",
+	"if (x[0] > 0) x[1] else x[2]",
+	"x[0] > 0 ? x[1] : x[2]",
+	"(1..3) + (5,9)",
+	"(x[..10] >? 0)[[2]]",
+	"(0..9)[[2..4]]",
+	"head-->next->value",
+	"#/(head-->next)",
+	"head-->next->(value ==? 7)",
+	"head-->>next->value",
+	"x[..10] # i => i",
+	"y := x[2..5]",
+	"twice(x[2..5])",
+	"int z; z = 42; z",
+	"x[0] = 11",
+	"x[0] += 4",
+	"x[0]++",
+	"--x[0]",
+	"(1..3) => 7",
+	"while (x[0] > 0) x[0]--",
+	"frames()",
+	"(struct node *) 0 == 0",
+	"{x[3]}",
+	"\"abc\"[1]",
+}
+
+// TestCompiledParityWithPush holds the compiled backend to the reference
+// semantics at the finest grain available: identical emitted value traces
+// (symbolic string, raw bytes, C type), identical error text, and identical
+// engine-side counters — Values, Applies, SymOps, Lookups, MemReads,
+// TargetReads, TargetBytes. Host-side counters are deliberately excluded:
+// batching host crossings is the point of the backend.
+func TestCompiledParityWithPush(t *testing.T) {
+	for _, src := range parityQueries {
+		t.Run(src, func(t *testing.T) {
+			wantTrace, wantCtrs, wantErr := runBackend(t, "push", src, core.DefaultOptions())
+			gotTrace, gotCtrs, gotErr := runBackend(t, "compiled", src, core.DefaultOptions())
+			if fmt.Sprint(wantErr) != fmt.Sprint(gotErr) {
+				t.Fatalf("error diverged: push %v, compiled %v", wantErr, gotErr)
+			}
+			if len(wantTrace) != len(gotTrace) {
+				t.Fatalf("trace length diverged: push %d, compiled %d\npush: %v\ncompiled: %v",
+					len(wantTrace), len(gotTrace), wantTrace, gotTrace)
+			}
+			for i := range wantTrace {
+				if wantTrace[i] != gotTrace[i] {
+					t.Errorf("value %d diverged:\n push:     %s\n compiled: %s", i, wantTrace[i], gotTrace[i])
+				}
+			}
+			if wantCtrs.Values != gotCtrs.Values || wantCtrs.Applies != gotCtrs.Applies ||
+				wantCtrs.SymOps != gotCtrs.SymOps || wantCtrs.Lookups != gotCtrs.Lookups ||
+				wantCtrs.MemReads != gotCtrs.MemReads ||
+				wantCtrs.TargetReads != gotCtrs.TargetReads || wantCtrs.TargetBytes != gotCtrs.TargetBytes {
+				t.Errorf("counters diverged:\n push:     %+v\n compiled: %+v", wantCtrs, gotCtrs)
+			}
+		})
+	}
+}
+
+// TestCompiledStepLimitParity pins the subtlest invariant: per-node
+// precomputation must not collapse steps, or StepLimitError would fire at
+// different counts than the interpreter under the same budget.
+func TestCompiledStepLimitParity(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.MaxSteps = 25
+	for _, src := range parityQueries {
+		t.Run(src, func(t *testing.T) {
+			wantTrace, _, wantErr := runBackend(t, "push", src, opts)
+			gotTrace, _, gotErr := runBackend(t, "compiled", src, opts)
+			if fmt.Sprint(wantErr) != fmt.Sprint(gotErr) {
+				t.Fatalf("limit error diverged: push %v, compiled %v", wantErr, gotErr)
+			}
+			if fmt.Sprint(wantTrace) != fmt.Sprint(gotTrace) {
+				t.Fatalf("partial trace diverged:\n push:     %v\n compiled: %v", wantTrace, gotTrace)
+			}
+		})
+	}
+}
+
+// TestProgramCacheReuse verifies that re-evaluating the same node skips
+// compilation and that the cache reports its traffic.
+func TestProgramCacheReuse(t *testing.T) {
+	d := buildDebuggee(t)
+	e := core.NewEnv(d, core.DefaultOptions())
+	b, err := core.GetBackend("compiled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := parser.Parse("x[..10] >? 4", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := core.Eval(e, b, n, func(value.Value) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, size := compiled.CacheStats(e)
+	if misses != 1 || hits != 2 || size != 1 {
+		t.Errorf("cache stats: hits=%d misses=%d size=%d, want 2/1/1", hits, misses, size)
+	}
+}
+
+// TestScanPrefetchBatchesHostReads checks the tentpole claim at package
+// level: a flat scan with the page cache off costs O(n/pagesize) host
+// crossings on the compiled backend, not O(n).
+func TestScanPrefetchBatchesHostReads(t *testing.T) {
+	_, pushCtrs, err := runBackend(t, "push", "+/x[..10]", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, compCtrs, err := runBackend(t, "compiled", "+/x[..10]", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compCtrs.PrefetchStripes == 0 {
+		t.Fatalf("compiled scan issued no prefetch stripes: %+v", compCtrs)
+	}
+	if compCtrs.HostReads >= pushCtrs.HostReads {
+		t.Errorf("compiled host reads %d not below push %d", compCtrs.HostReads, pushCtrs.HostReads)
+	}
+}
+
+// TestPrefetchDisabled verifies Options.Prefetch=false suppresses all
+// prefetch traffic while leaving results identical.
+func TestPrefetchDisabled(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Prefetch = false
+	wantTrace, _, err := runBackend(t, "push", "x[..10] >? 4", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTrace, ctrs, err := runBackend(t, "compiled", "x[..10] >? 4", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrs.Prefetches != 0 || ctrs.PrefetchStripes != 0 {
+		t.Errorf("prefetch traffic with Prefetch=false: %+v", ctrs)
+	}
+	if fmt.Sprint(wantTrace) != fmt.Sprint(gotTrace) {
+		t.Errorf("trace diverged with prefetch off:\n push:     %v\n compiled: %v", wantTrace, gotTrace)
+	}
+}

@@ -91,6 +91,15 @@ type Options struct {
 	// MemCachePages bounds the resident page count, LRU-evicted
 	// (0 = memio default).
 	MemCachePages int
+	// Prefetch lets the compiled backend's scan planner batch target reads
+	// ahead of flat scans (x[a..b], --> walks) with memio.Accessor.Prefetch:
+	// one host crossing per contiguous page run instead of one per element.
+	// Output and fault behavior are unchanged — unmapped or faulting
+	// stripes fall back to ordinary reads — and with MemCache off the
+	// stripes are released after every evaluation, so the accessor returns
+	// to the faithful one-read-one-round-trip regime between commands. The
+	// interpreting backends ignore it.
+	Prefetch bool
 	// Trace, when non-nil, makes the machine backend log every eval call
 	// in the style of the paper's §Semantics walkthrough of
 	// (1..3)+(5,9): one line per produced value (or NOVALUE) per node,
@@ -107,6 +116,7 @@ func DefaultOptions() Options {
 		MaxSteps:      0,
 		MaxExpand:     1 << 22,
 		MaxCStringLen: 200,
+		Prefetch:      true,
 	}
 }
 
@@ -123,11 +133,16 @@ type Counters struct {
 	TargetReads   int64 // GetTargetBytes requests the engine issued
 	TargetBytes   int64 // bytes those requests asked for
 	HostReads     int64 // round-trips that actually reached the host debugger
+	HostBytes     int64 // bytes those round-trips returned
 	CacheHits     int64 // memio page-cache hits
 	CacheMisses   int64 // memio page fills and uncached fallbacks
 	Invalidations int64 // pages dropped by writes, allocs and call flushes
 	MemTransients int64 // transient target faults observed by the accessor
 	MemRetries    int64 // retries the accessor's backoff spent absorbing them
+
+	Prefetches      int64 // Prefetch requests the compiled backend's planner issued
+	PrefetchStripes int64 // host round-trips those prefetches batched into
+	PrefetchPages   int64 // pages made resident by prefetching
 }
 
 // errStop is the internal sentinel used to terminate enumeration early
@@ -176,6 +191,11 @@ type Env struct {
 	strAddrs   map[*ast.Node]uint64 // interned string literals, per node
 	steps      int
 
+	// backendCache is an opaque per-session slot for backend-specific
+	// compiled artifacts (the compiled backend keeps its program cache
+	// here); the interpreting backends ignore it. See BackendCache.
+	backendCache any
+
 	// cancel is set by the Eval deadline watchdog (and cleared when the
 	// evaluation finishes); step checks it so every backend notices a
 	// timeout at its next produced value.
@@ -217,11 +237,15 @@ func (e *Env) Counters() Counters {
 	c.TargetReads = s.Reads
 	c.TargetBytes = s.ReadBytes
 	c.HostReads = s.HostReads
+	c.HostBytes = s.HostBytes
 	c.CacheHits = s.Hits
 	c.CacheMisses = s.Misses
 	c.Invalidations = s.Invalidations
 	c.MemTransients = s.Transients
 	c.MemRetries = s.Retries
+	c.Prefetches = s.Prefetches
+	c.PrefetchStripes = s.PrefetchStripes
+	c.PrefetchPages = s.PrefetchPages
 	return c
 }
 

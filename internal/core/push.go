@@ -468,23 +468,27 @@ func (e *Env) evalPush(n *ast.Node, yield EmitFn) error {
 // --- helpers ---
 
 func (e *Env) constValue(n *ast.Node) value.Value {
-	arch := e.Ctx.Arch
-	t := ctype.Type(arch.Int)
-	switch {
-	case n.Unsigned && n.Long:
-		t = arch.ULong
-	case n.Long:
-		t = arch.Long
-	case n.Unsigned:
-		t = arch.UInt
-	case n.Int > uint64(int64(1)<<(uint(arch.Long.Size()*8-1))-1):
-		t = arch.ULongLong
-	case n.Int > 0x7fffffff:
-		t = arch.Long
-	}
-	v := value.MakeInt(t, int64(n.Int))
+	v := value.MakeInt(ConstType(e.Ctx.Arch, n), int64(n.Int))
 	v.Sym = e.atom(n.Text)
 	return v
+}
+
+// ConstType resolves the C type of an integer-constant node under arch —
+// compile-time data, so the compiled backend folds it once per program.
+func ConstType(arch *ctype.Arch, n *ast.Node) ctype.Type {
+	switch {
+	case n.Unsigned && n.Long:
+		return arch.ULong
+	case n.Long:
+		return arch.Long
+	case n.Unsigned:
+		return arch.UInt
+	case n.Int > uint64(int64(1)<<(uint(arch.Long.Size()*8-1))-1):
+		return arch.ULongLong
+	case n.Int > 0x7fffffff:
+		return arch.Long
+	}
+	return arch.Int
 }
 
 func (e *Env) truth(u value.Value) (bool, error) {

@@ -228,6 +228,9 @@ func (r *REPL) Command(line string) (quit bool, err error) {
 			c.TargetReads, c.HostReads, c.CacheHits, c.CacheMisses, c.Invalidations,
 			c.MemTransients, c.MemRetries)
 		return false, nil
+	case "stats":
+		r.cmdStats()
+		return false, nil
 	}
 	return false, fmt.Errorf("unknown command %q; try \"help\"", cmd)
 }
@@ -250,14 +253,36 @@ func (r *REPL) help() {
   break f if <expr>   conditional breakpoint (DUEL condition)
   list [line]         show program source around a line
   info <breakpoints|watchpoints|functions|globals|locals|types>
-  set <backend push|machine|chan | symbolic on|off | cycledetect on|off
-       | maxsteps n | timeout dur | errorvalues on|off
+  set <backend push|machine|chan|compiled | symbolic on|off
+       | cycledetect on|off | maxsteps n | timeout dur | errorvalues on|off
        | trace on|off>   (trace logs the paper-style eval walkthrough)
   faults [off | key=value ...]   arm deterministic target-fault injection
                       (rates: unmapped short transient latency allocfail
                        callfail callhang all; seed= after= limit= delay= hang=)
-  counters            evaluation statistics     quit
+  counters            evaluation statistics
+  stats               last-eval time, compile-cache and prefetch report
+  quit
 `)
+}
+
+// cmdStats reports the wall-clock cost of the most recent evaluation and
+// the compiled fast path's effectiveness: parse/compile cache traffic,
+// prefetch stripes issued, and how many engine reads were answered without
+// a host round-trip (by prefetched pages or the cache).
+func (r *REPL) cmdStats() {
+	r.printf("last eval: %v\n", r.Ses.LastEvalTime())
+	srcHits, srcMisses, progHits, progMisses, progs := r.Ses.EvalCacheStats()
+	r.printf("compile cache: source %d hits / %d misses, programs %d hits / %d misses (%d resident)\n",
+		srcHits, srcMisses, progHits, progMisses, progs)
+	c := r.Ses.Counters()
+	saved := c.TargetReads - c.HostReads
+	if saved < 0 {
+		saved = 0
+	}
+	r.printf("prefetch: %d calls, %d stripes, %d pages\n",
+		c.Prefetches, c.PrefetchStripes, c.PrefetchPages)
+	r.printf("host reads saved: %d of %d engine reads (%d host round-trips)\n",
+		saved, c.TargetReads, c.HostReads)
 }
 
 // duelHelp prints the operator summary the bare "duel" command shows,

@@ -558,3 +558,33 @@ func TestErrorValuesFromPrompt(t *testing.T) {
 		t.Errorf("errorvalues on still aborted hard:\n%s", out)
 	}
 }
+
+// TestStatsCommand: the stats report shows the compiled fast path working —
+// the repeated query hits both the source→AST cache and the program cache,
+// and the list walk issues prefetch stripes.
+func TestStatsCommand(t *testing.T) {
+	out := runScript(t, listProgram,
+		"set backend compiled",
+		"run",
+		"duel head-->next->v",
+		"duel head-->next->v",
+		"stats",
+		"quit",
+	)
+	if strings.Count(out, "head->v = 3") != 2 {
+		t.Fatalf("walk did not print twice:\n%s", out)
+	}
+	for _, want := range []string{
+		"last eval: ",
+		"compile cache: source 1 hits / 1 misses, programs 1 hits / 1 misses (1 resident)",
+		"prefetch: ",
+		"host reads saved: ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "prefetch: 0 calls") {
+		t.Errorf("compiled list walk issued no prefetches:\n%s", out)
+	}
+}

@@ -15,6 +15,11 @@
 //     count) with write-through invalidation on PutTargetBytes and
 //     AllocTargetSpace, and a conservative whole-cache flush around
 //     CallTargetFunc (a target call may mutate arbitrary memory);
+//   - Prefetch, a batched read that makes a whole scan range resident in one
+//     host crossing per contiguous page run; the compiled backend's scan
+//     planner drives it, and the same invalidation machinery keeps the
+//     stripes coherent (with the cache off they are released after each
+//     evaluation, see ReleasePrefetched);
 //   - typed fault errors (Fault{Addr, Len, Op}) replacing ad-hoc error
 //     strings, so --> expansion and the symbolic error messages can
 //     distinguish unmapped reads from short (partially mapped) reads;
@@ -186,6 +191,10 @@ type Stats struct {
 	Invalidations int64 // pages dropped by writes, allocs and call flushes
 	Flushes       int64 // conservative whole-cache flushes (target calls)
 
+	Prefetches      int64 // Prefetch requests from the engine
+	PrefetchStripes int64 // host round-trips those requests batched into
+	PrefetchPages   int64 // pages made resident by prefetching
+
 	Transients int64 // transient faults observed (including retried-away ones)
 	Retries    int64 // retry attempts issued after transient faults
 }
@@ -228,11 +237,11 @@ func New(d dbgif.Debugger, cfg Config) *Accessor {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = DefaultRetryBackoff
 	}
+	// The page store exists even with the cache off: Prefetch installs
+	// pages into it on demand. Empty, it costs one length check per read.
 	a := &Accessor{Debugger: d, cfg: cfg}
-	if cfg.Cache {
-		a.pages = make(map[uint64]*list.Element)
-		a.lru = list.New()
-	}
+	a.pages = make(map[uint64]*list.Element)
+	a.lru = list.New()
 	return a
 }
 
@@ -331,7 +340,10 @@ func (a *Accessor) flushLocked() {
 // GetTargetBytes implements dbgif.Debugger: reads go through the page cache
 // when enabled, and fall back to one uncached host read for ranges whose
 // pages are not fully mapped, so partial mappings behave exactly as they do
-// with the cache off.
+// with the cache off. With the cache off, resident pages installed by
+// Prefetch still serve reads (that is the point of prefetching), but misses
+// never fill pages: only prefetched ranges are batched, everything else
+// stays one engine read = one host round-trip.
 func (a *Accessor) GetTargetBytes(addr uint64, n int) ([]byte, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -342,7 +354,8 @@ func (a *Accessor) GetTargetBytes(addr uint64, n int) ([]byte, error) {
 	if a.interrupted.Load() {
 		return nil, a.interruptedErr(OpRead, addr, n)
 	}
-	if !a.cfg.Cache || n <= 0 || addr+uint64(n) < addr {
+	usePages := a.cfg.Cache || a.lru.Len() > 0
+	if !usePages || n <= 0 || addr+uint64(n) < addr {
 		b, err := a.hostRead(addr, n)
 		if err != nil {
 			return nil, a.fault(OpRead, addr, n, err)
@@ -355,7 +368,9 @@ func (a *Accessor) GetTargetBytes(addr uint64, n int) ([]byte, error) {
 		cur := addr + uint64(off)
 		pg := a.pageFor(cur &^ (ps - 1))
 		if pg == nil {
-			a.stats.Misses++
+			if a.cfg.Cache {
+				a.stats.Misses++
+			}
 			b, err := a.hostRead(cur, n-off)
 			if err != nil {
 				return nil, a.fault(OpRead, addr, n, err)
@@ -386,12 +401,17 @@ func (a *Accessor) hostRead(addr uint64, n int) ([]byte, error) {
 }
 
 // pageFor returns the resident page at base, filling it from the host if the
-// whole page is mapped, or nil when the range must be read uncached.
+// cache is enabled and the whole page is mapped, or nil when the range must
+// be read uncached. With the cache off (prefetch-only mode) a miss never
+// fills: an ordinary read must not grow the resident set.
 func (a *Accessor) pageFor(base uint64) *page {
 	if el, ok := a.pages[base]; ok {
 		a.stats.Hits++
 		a.lru.MoveToFront(el)
 		return el.Value.(*page)
+	}
+	if !a.cfg.Cache {
+		return nil
 	}
 	if !a.Debugger.ValidTargetAddr(base, a.cfg.PageSize) {
 		return nil
@@ -432,21 +452,24 @@ func (a *Accessor) PutTargetBytes(addr uint64, b []byte) error {
 }
 
 // ValidTargetAddr implements dbgif.Debugger. A range fully covered by
-// resident pages is known mapped without a host round-trip — the hot path of
-// --> list walks, which validate every pointer before following it.
+// resident pages — cached or prefetched — is known mapped without a host
+// round-trip: the hot path of --> list walks, which validate every pointer
+// before following it.
 func (a *Accessor) ValidTargetAddr(addr uint64, n int) bool {
-	if a.cfg.Cache && n > 0 && addr+uint64(n)-1 >= addr {
+	if n > 0 && addr+uint64(n)-1 >= addr {
 		a.mu.Lock()
-		covered := true
-		ps := uint64(a.cfg.PageSize)
-		last := (addr + uint64(n) - 1) &^ (ps - 1)
-		for base := addr &^ (ps - 1); ; base += ps {
-			if _, ok := a.pages[base]; !ok {
-				covered = false
-				break
-			}
-			if base == last {
-				break
+		covered := a.lru.Len() > 0
+		if covered {
+			ps := uint64(a.cfg.PageSize)
+			last := (addr + uint64(n) - 1) &^ (ps - 1)
+			for base := addr &^ (ps - 1); ; base += ps {
+				if _, ok := a.pages[base]; !ok {
+					covered = false
+					break
+				}
+				if base == last {
+					break
+				}
 			}
 		}
 		a.mu.Unlock()
@@ -455,6 +478,85 @@ func (a *Accessor) ValidTargetAddr(addr uint64, n int) bool {
 		}
 	}
 	return a.Debugger.ValidTargetAddr(addr, n)
+}
+
+// Prefetch makes the pages covering [addr, addr+n) resident ahead of a scan,
+// batching each contiguous run of absent, mapped pages into one host
+// round-trip. It is purely an optimization: unmapped or faulting stripes are
+// skipped silently, and the reads that later touch them fall back to the
+// ordinary path and fault (or succeed) exactly as they would have without
+// prefetching. Write-through invalidation, allocation invalidation and the
+// conservative flush around target calls apply to prefetched pages like any
+// cached page, so they can never serve stale bytes through this accessor.
+// With the cache disabled the resident set lives only as long as the caller
+// lets it (see ReleasePrefetched).
+func (a *Accessor) Prefetch(addr uint64, n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n <= 0 || addr+uint64(n) < addr || a.interrupted.Load() {
+		return
+	}
+	a.stats.Prefetches++
+	ps := uint64(a.cfg.PageSize)
+	first := addr &^ (ps - 1)
+	pages := int(((addr+uint64(n)-1)&^(ps-1)-first)/ps) + 1
+	if pages > a.cfg.MaxPages {
+		pages = a.cfg.MaxPages // more would immediately evict itself
+	}
+	for i := 0; i < pages; {
+		base := first + uint64(i)*ps
+		if _, ok := a.pages[base]; ok || !a.Debugger.ValidTargetAddr(base, a.cfg.PageSize) {
+			i++
+			continue
+		}
+		run := 1
+		for i+run < pages {
+			nb := base + uint64(run)*ps
+			if _, ok := a.pages[nb]; ok {
+				break
+			}
+			if !a.Debugger.ValidTargetAddr(nb, a.cfg.PageSize) {
+				break
+			}
+			run++
+		}
+		b, err := a.hostRead(base, run*int(ps))
+		i += run
+		if err != nil || len(b) < run*int(ps) {
+			continue
+		}
+		a.stats.PrefetchStripes++
+		a.stats.PrefetchPages += int64(run)
+		for k := 0; k < run; k++ {
+			pb := base + uint64(k)*ps
+			pg := &page{base: pb, data: b[k*int(ps) : (k+1)*int(ps)]}
+			a.pages[pb] = a.lru.PushFront(pg)
+		}
+		for a.lru.Len() > a.cfg.MaxPages {
+			back := a.lru.Back()
+			delete(a.pages, back.Value.(*page).base)
+			a.lru.Remove(back)
+			a.stats.Evictions++
+		}
+	}
+}
+
+// ReleasePrefetched drops the resident pages of a cache-off accessor. The
+// compiled backend calls it at the end of each evaluation so that, with the
+// page cache off, prefetched stripes never outlive the expression that
+// requested them: between evaluations the accessor is back to the faithful
+// one-read-one-round-trip regime even if the target is mutated behind the
+// accessor's back (e.g. by running debuggee code directly). With the cache
+// on it is a no-op — the pages ARE the cache, and the usual invalidation
+// rules govern their lifetime.
+func (a *Accessor) ReleasePrefetched() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.Cache || a.lru.Len() == 0 {
+		return
+	}
+	a.pages = make(map[uint64]*list.Element)
+	a.lru.Init()
 }
 
 // AllocTargetSpace implements dbgif.Debugger. The new storage may overlay
