@@ -23,10 +23,13 @@ package duel
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"iter"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"duel/internal/core"
@@ -81,12 +84,29 @@ func (r Result) Line() string {
 }
 
 // Session is one DUEL session attached to a debugger.
+//
+// A Session is safe for concurrent use: evaluations (and alias mutations)
+// from different goroutines serialize on an internal evaluation lock, and
+// the parse cache and instrumentation are independently synchronized, so
+// stats can be read while a query is in flight. One Session still evaluates
+// one expression at a time — the evaluator's name-resolution stack, step
+// budget and declaration storage are per-evaluation state — so a serving
+// layer that wants parallelism runs a pool of Sessions (see internal/serve).
 type Session struct {
 	D       dbgif.Debugger
 	Env     *core.Env
 	Backend core.Backend
 	Printer *display.Printer
 	opts    Options
+
+	// evalMu serializes evaluations and alias-table mutations. It is held
+	// for the whole of one EvalNode, so Counters and EvalCacheStats (which
+	// also take it) observe quiesced state.
+	evalMu sync.Mutex
+	// cacheMu guards the source→AST cache and its generation/counters.
+	// It nests inside evalMu (ClearAliases) and is never held across an
+	// evaluation, only across parses.
+	cacheMu sync.Mutex
 
 	// gen is the session's type-environment generation; bumping it (on
 	// ClearAliases) invalidates every cached source→AST entry, and with
@@ -96,7 +116,7 @@ type Session struct {
 	srcLRU     *list.List
 	srcHits    int64
 	srcMisses  int64
-	lastEval   time.Duration
+	lastEval   atomic.Int64 // nanoseconds of the most recent EvalNode
 }
 
 // srcCacheSize bounds the source→AST cache of the compiled backend.
@@ -156,6 +176,10 @@ func NewSession(d dbgif.Debugger, opts ...Options) (*Session, error) {
 	return s, nil
 }
 
+// Options returns the options the session was created with (after
+// defaulting), so another session can be built to match.
+func (s *Session) Options() Options { return s.opts }
+
 // MustNewSession is NewSession for tests and examples.
 func MustNewSession(d dbgif.Debugger, opts ...Options) *Session {
 	s, err := NewSession(d, opts...)
@@ -170,6 +194,15 @@ func (s *Session) Parse(src string) (*ast.Node, error) {
 	return parser.Parse(src, s.D)
 }
 
+// ParseCached is Parse through the session's source→AST cache (a hit reuses
+// the node, which lets the compiled backend reuse its cached program too).
+// With an interpreting backend it is a plain Parse. Callers that evaluate
+// the returned node with EvalNode get exactly the EvalFunc fast path, plus
+// the tree in hand — internal/serve classifies queries this way.
+func (s *Session) ParseCached(src string) (*ast.Node, error) {
+	return s.parseCached(src)
+}
+
 // parseCached resolves src through the session's source→AST cache when the
 // compiled backend is active (reusing the node lets the backend reuse its
 // compiled program too), and falls back to a plain parse otherwise. Trees
@@ -180,6 +213,8 @@ func (s *Session) parseCached(src string) (*ast.Node, error) {
 	if s.srcEntries == nil {
 		return s.Parse(src)
 	}
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
 	if el, ok := s.srcEntries[src]; ok {
 		ent := el.Value.(*srcEntry)
 		if ent.gen == s.gen {
@@ -226,8 +261,15 @@ func allocatesPerNode(n *ast.Node) bool {
 
 // Eval evaluates a DUEL input and collects all produced values.
 func (s *Session) Eval(src string) ([]Result, error) {
+	return s.EvalContext(context.Background(), src)
+}
+
+// EvalContext is Eval with caller-controlled cancellation: canceling ctx
+// aborts the evaluation (interrupting the memory chain like the Timeout
+// watchdog) with a *core.CanceledError.
+func (s *Session) EvalContext(ctx context.Context, src string) ([]Result, error) {
 	var out []Result
-	err := s.EvalFunc(src, func(r Result) error {
+	err := s.EvalFuncContext(ctx, src, func(r Result) error {
 		out = append(out, r)
 		return nil
 	})
@@ -238,11 +280,16 @@ func (s *Session) Eval(src string) ([]Result, error) {
 // paper's top-level driver ("the duel command drives its expression argument
 // and prints all of its values").
 func (s *Session) EvalFunc(src string, f func(Result) error) error {
+	return s.EvalFuncContext(context.Background(), src, f)
+}
+
+// EvalFuncContext is EvalFunc with caller-controlled cancellation.
+func (s *Session) EvalFuncContext(ctx context.Context, src string, f func(Result) error) error {
 	n, err := s.parseCached(src)
 	if err != nil {
 		return err
 	}
-	return s.EvalNode(n, f)
+	return s.EvalNodeContext(ctx, n, f)
 }
 
 // EvalNode drives an already-parsed expression through the hardened
@@ -250,9 +297,33 @@ func (s *Session) EvalFunc(src string, f func(Result) error) error {
 // interrupts the session's memory accessor, and internal panics surface as
 // *core.PanicError values instead of killing the process.
 func (s *Session) EvalNode(n *ast.Node, f func(Result) error) error {
+	return s.EvalNodeContext(context.Background(), n, f)
+}
+
+// EvalNodeContext is EvalNode with caller-controlled cancellation. It
+// acquires the session's evaluation lock: concurrent callers serialize, and
+// each evaluation observes the alias table and caches quiesced.
+func (s *Session) EvalNodeContext(ctx context.Context, n *ast.Node, f func(Result) error) error {
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	return s.evalNodeLocked(ctx, n, f)
+}
+
+// EvalNodeNested evaluates WITHOUT acquiring the session's evaluation lock.
+// It exists for exactly one caller shape: a debugger re-entering evaluation
+// on the same goroutine from within an evaluation it already owns — the
+// mini-debugger's watchpoints and breakpoint conditions, evaluated while a
+// DUEL-driven target call is suspended at a breakpoint. Calling it from any
+// goroutine that does not currently own an EvalNode on this session is a
+// data race; everything else must use EvalNode/EvalNodeContext.
+func (s *Session) EvalNodeNested(n *ast.Node, f func(Result) error) error {
+	return s.evalNodeLocked(context.Background(), n, f)
+}
+
+func (s *Session) evalNodeLocked(ctx context.Context, n *ast.Node, f func(Result) error) error {
 	start := time.Now()
-	defer func() { s.lastEval = time.Since(start) }()
-	return core.Eval(s.Env, s.Backend, n, func(v value.Value) error {
+	defer func() { s.lastEval.Store(int64(time.Since(start))) }()
+	return core.EvalContext(ctx, s.Env, s.Backend, n, func(v value.Value) error {
 		text, err := s.Printer.Format(v)
 		if err != nil {
 			var me *value.MemError
@@ -280,8 +351,13 @@ var errTruncated = errors.New("duel: output truncated")
 // like the gdb "duel" command. Hitting Options.MaxOutput prints a truncation
 // marker and returns nil.
 func (s *Session) Exec(w io.Writer, src string) error {
+	return s.ExecContext(context.Background(), w, src)
+}
+
+// ExecContext is Exec with caller-controlled cancellation.
+func (s *Session) ExecContext(ctx context.Context, w io.Writer, src string) error {
 	count := 0
-	err := s.EvalFunc(src, func(r Result) error {
+	err := s.EvalFuncContext(ctx, src, func(r Result) error {
 		count++
 		if s.opts.MaxOutput > 0 && count > s.opts.MaxOutput {
 			fmt.Fprintf(w, "... (output truncated at %d lines)\n", s.opts.MaxOutput)
@@ -298,21 +374,35 @@ func (s *Session) Exec(w io.Writer, src string) error {
 
 // ClearAliases drops all aliases and DUEL-declared variables, like
 // restarting the session. The type environment changes with them, so the
-// source→AST cache generation advances and cached parses are invalidated.
+// source→AST cache generation advances and cached parses are invalidated —
+// atomically with respect to in-flight evaluations and parses: the alias
+// drop and the generation bump happen under both session locks, so no
+// concurrent parseCached can serve a pre-clear tree against the post-clear
+// type environment.
 func (s *Session) ClearAliases() {
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
 	s.Env.ClearAliases()
 	s.gen++
 }
 
 // LastEvalTime reports the wall-clock duration of the most recent EvalNode
-// (zero before the first evaluation).
-func (s *Session) LastEvalTime() time.Duration { return s.lastEval }
+// (zero before the first evaluation). Safe to call while a query is in
+// flight.
+func (s *Session) LastEvalTime() time.Duration { return time.Duration(s.lastEval.Load()) }
 
 // EvalCacheStats reports the compiled fast path's cache effectiveness:
 // source→AST cache hits/misses at the session layer, and compiled-program
 // cache hits/misses plus resident program count inside the backend. All
-// zeros for interpreting backends.
+// zeros for interpreting backends. It takes the evaluation lock, so it
+// observes quiesced state — do not call it from within an emit callback.
 func (s *Session) EvalCacheStats() (srcHits, srcMisses, progHits, progMisses int64, progs int) {
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
 	progHits, progMisses, progs = compiled.CacheStats(s.Env)
 	return s.srcHits, s.srcMisses, progHits, progMisses, progs
 }
@@ -320,15 +410,26 @@ func (s *Session) EvalCacheStats() (srcHits, srcMisses, progHits, progMisses int
 // Counters exposes the evaluation instrumentation (symbol lookups, operator
 // applications, symbolic compositions, values produced, memory loads) merged
 // with the memory-layer traffic counters (target read requests, host
-// round-trips, cache hits/misses, invalidations).
-func (s *Session) Counters() core.Counters { return s.Env.Counters() }
+// round-trips, cache hits/misses, invalidations). It takes the evaluation
+// lock so the snapshot is consistent — do not call it from within an emit
+// callback of the same session.
+func (s *Session) Counters() core.Counters {
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	return s.Env.Counters()
+}
 
 // Mem exposes the session's memory accessor — the single gateway all target
 // reads and writes go through (see internal/memio).
 func (s *Session) Mem() *memio.Accessor { return s.Env.Mem }
 
-// ResetCounters zeroes the instrumentation counters.
-func (s *Session) ResetCounters() { s.Env.ResetCounters() }
+// ResetCounters zeroes the instrumentation counters. Like Counters, it must
+// not be called from within an emit callback of the same session.
+func (s *Session) ResetCounters() {
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	s.Env.ResetCounters()
+}
 
 // Values returns a range-over-func iterator over the results of src. The
 // second element carries an evaluation error; iteration ends after an error

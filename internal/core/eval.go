@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"duel/internal/duel/ast"
@@ -33,6 +35,24 @@ func (e *TimeoutError) Error() string {
 	}
 	return fmt.Sprintf("duel: evaluation exceeded %v; aborting", e.Limit)
 }
+
+// CanceledError reports an evaluation aborted because the caller's context
+// was canceled (EvalContext). It unwraps to the context's error, so both
+// errors.Is(err, context.Canceled) and errors.Is(err, context.
+// DeadlineExceeded) work as callers expect.
+type CanceledError struct {
+	Expr  string // symbolic expression of the node under evaluation
+	Cause error  // ctx.Err() (or context.Cause) at abort time
+}
+
+func (e *CanceledError) Error() string {
+	if e.Expr != "" {
+		return fmt.Sprintf("duel: evaluation canceled (at %s): %v", e.Expr, e.Cause)
+	}
+	return fmt.Sprintf("duel: evaluation canceled: %v", e.Cause)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
 
 // PanicError reports an internal evaluator panic recovered at the Eval
 // boundary, carrying the symbolic expression of the node being evaluated —
@@ -76,33 +96,82 @@ func (e *Env) exprUnder(root *ast.Node) string {
 // target call or injected hang cannot block the session past the deadline),
 // and recovers internal panics into *PanicError values carrying the symbolic
 // expression of the node being evaluated.
-func Eval(e *Env, b Backend, n *ast.Node, emit EmitFn) (err error) {
+func Eval(e *Env, b Backend, n *ast.Node, emit EmitFn) error {
+	return EvalContext(context.Background(), e, b, n, emit)
+}
+
+// EvalContext is Eval with caller-controlled cancellation: when ctx is
+// canceled the watchdog cancels the evaluator at its next step check AND
+// interrupts the session's memory chain, exactly like the Options.Timeout
+// deadline — so a server can revoke a query mid-flight even while it is
+// blocked inside a wedged target call. A context abort surfaces as a
+// *CanceledError wrapping ctx's error; the deadline still surfaces as a
+// *TimeoutError. The watchdog goroutine always terminates before EvalContext
+// returns, so no goroutine outlives the call.
+func EvalContext(ctx context.Context, e *Env, b Backend, n *ast.Node, emit EmitFn) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = &PanicError{Expr: e.exprUnder(n), Val: p}
 		}
 	}()
 	e.lastNode.Store(nil)
-	if e.Opts.Timeout <= 0 {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.Opts.Timeout <= 0 && ctx.Done() == nil {
 		return b.Eval(e, n, emit)
 	}
 	e.cancel.Store(false)
-	fired := make(chan struct{})
-	timer := time.AfterFunc(e.Opts.Timeout, func() {
+	var (
+		stop    = make(chan struct{}) // closed when b.Eval returns
+		fired   = make(chan struct{}) // closed after the watchdog tripped
+		tripped atomic.Bool           // CAS arbiter: evaluator vs watchdog
+		byCtx   bool                  // written before close(fired) only
+	)
+	go func() {
+		var timerC <-chan time.Time
+		if e.Opts.Timeout > 0 {
+			t := time.NewTimer(e.Opts.Timeout)
+			defer t.Stop()
+			timerC = t.C
+		}
+		select {
+		case <-stop:
+			return
+		case <-timerC:
+		case <-ctx.Done():
+			byCtx = true
+		}
+		// The evaluator may have finished in the same instant; only the
+		// CAS winner gets to trip the cancellation machinery.
+		if !tripped.CompareAndSwap(false, true) {
+			return
+		}
 		e.cancel.Store(true)
 		e.Mem.Interrupt()
 		close(fired)
-	})
-	defer func() {
-		if timer.Stop() {
-			return
-		}
-		// The watchdog fired: wait for it to finish, then clear the
-		// cancellation so the next evaluation starts clean.
-		<-fired
-		e.cancel.Store(false)
-		e.Mem.Resume()
-		if err != nil {
+	}()
+	err = b.Eval(e, n, emit)
+	close(stop)
+	if tripped.CompareAndSwap(false, true) {
+		// The evaluator won: the watchdog can no longer trip.
+		return err
+	}
+	// The watchdog tripped (or is mid-trip): wait for it to finish, then
+	// clear the cancellation so the next evaluation starts clean.
+	<-fired
+	e.cancel.Store(false)
+	e.Mem.Resume()
+	if err != nil {
+		if byCtx {
+			var ce *CanceledError
+			if !errors.As(err, &ce) {
+				// The abort surfaced as a step-check timeout or an
+				// interrupted memory fault; report the context as the
+				// cause.
+				err = &CanceledError{Expr: e.exprUnder(n), Cause: context.Cause(ctx)}
+			}
+		} else {
 			var te *TimeoutError
 			if !errors.As(err, &te) {
 				// The abort surfaced as an interrupted memory fault
@@ -110,6 +179,6 @@ func Eval(e *Env, b Backend, n *ast.Node, emit EmitFn) (err error) {
 				err = &TimeoutError{Limit: e.Opts.Timeout, Expr: e.exprUnder(n)}
 			}
 		}
-	}()
-	return b.Eval(e, n, emit)
+	}
+	return err
 }

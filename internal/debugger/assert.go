@@ -88,7 +88,7 @@ func (r *REPL) checkAsserts() *assertion {
 			continue
 		}
 		var violations []string
-		err := r.Ses.EvalNode(a.node, func(res duel.Result) error {
+		err := r.evalNode(a.node, func(res duel.Result) error {
 			if res.Text == "0" || res.Text == "0x0" || res.Text == `'\0'` {
 				violations = append(violations, res.Line())
 			}

@@ -2,20 +2,25 @@ package debugger
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"duel"
 	"duel/internal/core"
 	"duel/internal/cparse"
 	"duel/internal/ctype"
+	"duel/internal/duel/ast"
 	"duel/internal/faultdbg"
 	"duel/internal/microc"
+	"duel/internal/serve"
 	"duel/internal/target"
 )
 
@@ -65,6 +70,12 @@ type REPL struct {
 	stepping bool
 	// running is true while the target executes (nested prompt).
 	running bool
+	// evalDepth counts DUEL evaluations in flight on the REPL goroutine. A
+	// re-entrant evaluation — the stmt hook firing a watchpoint, assertion
+	// or breakpoint condition inside a DUEL-driven target call — must not
+	// retake the session's evaluation lock the outer evaluation already
+	// holds, so depth > 0 routes through Session.EvalNodeNested.
+	evalDepth int
 }
 
 // errQuit unwinds a run when the user quits mid-execution.
@@ -211,6 +222,12 @@ func (r *REPL) Command(line string) (quit bool, err error) {
 			r.duelHelp()
 			return false, nil
 		case "clear":
+			if r.evalDepth > 0 {
+				// ClearAliases needs the evaluation lock the suspended
+				// outer evaluation holds; clearing here would also yank
+				// aliases out from under it.
+				return false, fmt.Errorf("cannot clear aliases while an evaluation is suspended")
+			}
 			r.Ses.ClearAliases()
 			r.printf("aliases cleared\n")
 			return false, nil
@@ -221,13 +238,15 @@ func (r *REPL) Command(line string) (quit bool, err error) {
 	case "faults":
 		return false, r.cmdFaults(rest)
 	case "counters":
-		c := r.Ses.Counters()
+		c := r.counters()
 		r.printf("lookups=%d applies=%d symops=%d values=%d memreads=%d\n",
 			c.Lookups, c.Applies, c.SymOps, c.Values, c.MemReads)
 		r.printf("mem: reads=%d hostreads=%d hits=%d misses=%d invalidations=%d transients=%d retries=%d\n",
 			c.TargetReads, c.HostReads, c.CacheHits, c.CacheMisses, c.Invalidations,
 			c.MemTransients, c.MemRetries)
 		return false, nil
+	case "serve":
+		return false, r.cmdServe(rest)
 	case "stats":
 		r.cmdStats()
 		return false, nil
@@ -259,6 +278,8 @@ func (r *REPL) help() {
   faults [off | key=value ...]   arm deterministic target-fault injection
                       (rates: unmapped short transient latency allocfail
                        callfail callhang all; seed= after= limit= delay= hang=)
+  serve [w [n]] <expr>  run n copies of a query through a w-worker
+                      evaluation server and report concurrent throughput
   counters            evaluation statistics
   stats               last-eval time, compile-cache and prefetch report
   quit
@@ -270,6 +291,12 @@ func (r *REPL) help() {
 // prefetch stripes issued, and how many engine reads were answered without
 // a host round-trip (by prefetched pages or the cache).
 func (r *REPL) cmdStats() {
+	if r.evalDepth > 0 {
+		// EvalCacheStats/Counters take the evaluation lock the suspended
+		// outer evaluation holds.
+		r.printf("stats unavailable while an evaluation is suspended\n")
+		return
+	}
 	r.printf("last eval: %v\n", r.Ses.LastEvalTime())
 	srcHits, srcMisses, progHits, progMisses, progs := r.Ses.EvalCacheStats()
 	r.printf("compile cache: source %d hits / %d misses, programs %d hits / %d misses (%d resident)\n",
@@ -283,6 +310,90 @@ func (r *REPL) cmdStats() {
 		c.Prefetches, c.PrefetchStripes, c.PrefetchPages)
 	r.printf("host reads saved: %d of %d engine reads (%d host round-trips)\n",
 		saved, c.TargetReads, c.HostReads)
+}
+
+// cmdServe self-benchmarks the serving layer (internal/serve): it stands up
+// a temporary server over this target, fans n copies of the query out over a
+// session pool — each pooled session gets its own fault injector carrying
+// the REPL's current fault plan, reseeded per session — and reports
+// concurrent throughput and the server's admission stats.
+//
+//	serve [workers [n]] <duel-expression>
+func (r *REPL) cmdServe(rest string) error {
+	const usage = "usage: serve [workers [n]] <expression>"
+	if r.running || r.evalDepth > 0 {
+		return fmt.Errorf("serve is unavailable while the program is running")
+	}
+	workers, n := 4, 64
+	fields := strings.Fields(rest)
+	var nums []int
+	for len(fields) > 0 && len(nums) < 2 {
+		v, err := strconv.Atoi(fields[0])
+		if err != nil {
+			break
+		}
+		if v < 1 {
+			return fmt.Errorf(usage)
+		}
+		nums = append(nums, v)
+		fields = fields[1:]
+	}
+	if len(nums) > 0 {
+		workers = nums[0]
+	}
+	if len(nums) > 1 {
+		n = nums[1]
+	}
+	expr := strings.Join(fields, " ")
+	if strings.TrimSpace(expr) == "" {
+		return fmt.Errorf(usage)
+	}
+
+	opts := r.Ses.Options()
+	plan := r.Inj.CurrentPlan()
+	srv := serve.New(serve.Config{Workers: workers, Session: opts})
+	var lane atomic.Int64
+	srv.RegisterFactory("repl", func() (*duel.Session, error) {
+		return duel.NewSession(faultdbg.New(r.Dbg, plan.Derive(lane.Add(1))), opts)
+	})
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	var firstErr atomic.Pointer[string]
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		from, to := g*n/workers, (g+1)*n/workers
+		wg.Add(1)
+		go func(count int) {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				if _, err := srv.Eval(ctx, "repl", expr); err != nil {
+					failed.Add(1)
+					s := err.Error()
+					firstErr.CompareAndSwap(nil, &s)
+				}
+			}
+		}(to - from)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	st := srv.Stats()
+	qps := float64(st.Completed) / elapsed.Seconds()
+	r.printf("served %d queries in %v with %d workers (%.0f queries/sec)\n",
+		st.Completed, elapsed.Round(time.Microsecond), workers, qps)
+	r.printf("admission: %d admitted, %d shed, %d refused by breaker, %d trips; %d evaluations failed\n",
+		st.Admitted, st.Shed, st.FastFails, st.Trips, failed.Load())
+	if e := firstErr.Load(); e != nil {
+		r.printf("first failure: %s\n", *e)
+	}
+	return nil
 }
 
 // duelHelp prints the operator summary the bare "duel" command shows,
@@ -558,6 +669,43 @@ func (r *REPL) cmdInfo(what string) error {
 	return nil
 }
 
+// evalNode evaluates a parsed DUEL expression, tracking re-entrancy: the
+// top-level call takes the session's evaluation lock, while a nested one
+// (issued from a prompt or hook inside a suspended evaluation on this same
+// goroutine) routes through EvalNodeNested to avoid self-deadlock.
+func (r *REPL) evalNode(n *ast.Node, f func(duel.Result) error) error {
+	if r.evalDepth > 0 {
+		return r.Ses.EvalNodeNested(n, f)
+	}
+	r.evalDepth++
+	defer func() { r.evalDepth-- }()
+	return r.Ses.EvalNode(n, f)
+}
+
+// evalSrc is evalNode for source text, parsing first. The top-level path
+// goes through Session.EvalFunc to keep the source→AST cache hot.
+func (r *REPL) evalSrc(src string, f func(duel.Result) error) error {
+	if r.evalDepth > 0 {
+		n, err := r.Ses.Parse(src)
+		if err != nil {
+			return err
+		}
+		return r.Ses.EvalNodeNested(n, f)
+	}
+	r.evalDepth++
+	defer func() { r.evalDepth-- }()
+	return r.Ses.EvalFunc(src, f)
+}
+
+// counters snapshots the session counters without re-taking the evaluation
+// lock when issued from a nested prompt inside a suspended evaluation.
+func (r *REPL) counters() core.Counters {
+	if r.evalDepth > 0 {
+		return r.Ses.Env.Counters()
+	}
+	return r.Ses.Counters()
+}
+
 // cmdEval evaluates an expression. print and duel share the evaluator; duel
 // is the paper's command and drives all values, print limits the output like
 // gdb's print (but still shows every value of a generator).
@@ -566,7 +714,7 @@ func (r *REPL) cmdEval(src string, isDuel bool) error {
 		return fmt.Errorf("usage: %s <expression>", map[bool]string{true: "duel", false: "print"}[isDuel])
 	}
 	count := 0
-	err := r.Ses.EvalFunc(src, func(res duel.Result) error {
+	err := r.evalSrc(src, func(res duel.Result) error {
 		count++
 		r.printf("%s\n", res.Line())
 		return nil

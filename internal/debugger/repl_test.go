@@ -588,3 +588,42 @@ func TestStatsCommand(t *testing.T) {
 		t.Errorf("compiled list walk issued no prefetches:\n%s", out)
 	}
 }
+
+// TestServeCommand: the serve command fans the query out over a temporary
+// concurrent evaluation server and reports throughput plus admission stats.
+func TestServeCommand(t *testing.T) {
+	out := runScript(t, listProgram,
+		"run",
+		"serve 2 8 head-->next->v",
+		"quit",
+	)
+	for _, want := range []string{
+		"served 8 queries",
+		"with 2 workers",
+		"admission: 8 admitted, 0 shed",
+		"0 evaluations failed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeCommandUsage: serve without an expression is a usage error, and
+// serve is refused while the target is suspended at a breakpoint.
+func TestServeCommandUsage(t *testing.T) {
+	out := runScript(t, listProgram,
+		"serve",
+		"break push",
+		"run",
+		"serve 2 4 head",
+		"quit",
+		"quit",
+	)
+	if !strings.Contains(out, "usage: serve") {
+		t.Errorf("missing usage message:\n%s", out)
+	}
+	if !strings.Contains(out, "serve is unavailable while the program is running") {
+		t.Errorf("missing running refusal:\n%s", out)
+	}
+}

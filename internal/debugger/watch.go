@@ -53,7 +53,7 @@ func (r *REPL) compileCond(src string) (*condBreak, error) {
 // gdb's behaviour for unevaluable conditions, but are reported once.
 func (r *REPL) condTrue(c *condBreak) bool {
 	truth := false
-	err := r.Ses.EvalNode(c.node, func(res duel.Result) error {
+	err := r.evalNode(c.node, func(res duel.Result) error {
 		if res.Text != "0" && res.Text != "0x0" && res.Text != "'\\0'" {
 			truth = true
 		}
@@ -110,7 +110,7 @@ func (r *REPL) cmdUnwatch(arg string) error {
 // also triggers the watchpoint.
 func (r *REPL) evalWatch(w *watchpoint) []string {
 	var vals []string
-	err := r.Ses.EvalNode(w.node, func(res duel.Result) error {
+	err := r.evalNode(w.node, func(res duel.Result) error {
 		vals = append(vals, res.Line())
 		return nil
 	})

@@ -123,6 +123,16 @@ type Plan struct {
 // active reports whether the plan can inject anything at all.
 func (p *Plan) active() bool { return len(p.Rates) > 0 || len(p.Script) > 0 }
 
+// Derive returns a copy of the plan reseeded for lane i, so a concurrent
+// soak can hand each goroutine its own reproducible schedule from one base
+// plan: same rates, different dice. Scripted entries are kept as-is — they
+// pin faults to per-injector operation counts, which stay deterministic
+// per lane.
+func (p Plan) Derive(i int64) Plan {
+	p.Seed ^= int64(uint64(i+1) * 0x9E3779B97F4A7C15)
+	return p
+}
+
 // Stats counts an Injector's traffic and injections.
 type Stats struct {
 	Ops      int64 // interface operations seen (reads, writes, allocs, calls)

@@ -208,10 +208,15 @@ type Accessor struct {
 
 	cfg         Config
 	interrupted atomic.Bool // set by Interrupt: fail fast, skip retries
-	mu          sync.Mutex
-	pages       map[uint64]*list.Element
-	lru         *list.List // front = most recently used; elements hold *page
-	stats       Stats
+	// intrMu guards the abort channel's lifecycle only; it is never held
+	// across a host call, so Interrupt stays safe to call from a watchdog
+	// while an operation holds mu.
+	intrMu sync.Mutex
+	abort  chan struct{} // closed by Interrupt, replaced by Resume
+	mu     sync.Mutex
+	pages  map[uint64]*list.Element
+	lru    *list.List // front = most recently used; elements hold *page
+	stats  Stats
 }
 
 type page struct {
@@ -240,6 +245,7 @@ func New(d dbgif.Debugger, cfg Config) *Accessor {
 	// The page store exists even with the cache off: Prefetch installs
 	// pages into it on demand. Empty, it costs one length check per read.
 	a := &Accessor{Debugger: d, cfg: cfg}
+	a.abort = make(chan struct{})
 	a.pages = make(map[uint64]*list.Element)
 	a.lru = list.New()
 	return a
@@ -283,14 +289,32 @@ func (a *Accessor) CachedPages() int {
 // instead of issuing host round-trips or sleeping in retry backoff. The
 // evaluation deadline calls it when a session runs out of time.
 func (a *Accessor) Interrupt() {
-	a.interrupted.Store(true)
+	a.intrMu.Lock()
+	if !a.interrupted.Swap(true) {
+		// Wake any retry loop sleeping in backoff; closing once per
+		// Interrupt/Resume cycle keeps double-Interrupt harmless.
+		close(a.abort)
+	}
+	a.intrMu.Unlock()
 	dbgif.Interrupt(a.Debugger)
 }
 
 // Resume implements dbgif.Interrupter, clearing a previous Interrupt.
 func (a *Accessor) Resume() {
-	a.interrupted.Store(false)
+	a.intrMu.Lock()
+	if a.interrupted.Swap(false) {
+		a.abort = make(chan struct{})
+	}
+	a.intrMu.Unlock()
 	dbgif.Resume(a.Debugger)
+}
+
+// abortCh snapshots the current interrupt channel.
+func (a *Accessor) abortCh() chan struct{} {
+	a.intrMu.Lock()
+	ch := a.abort
+	a.intrMu.Unlock()
+	return ch
 }
 
 // interruptedErr builds the fail-fast error for interrupted operations.
@@ -300,7 +324,9 @@ func (a *Accessor) interruptedErr(op Op, addr uint64, n int) error {
 
 // withRetry runs do, retrying transient faults (IsTransient) with capped
 // exponential backoff. Non-transient errors and exhausted retries surface
-// unchanged; an Interrupt request stops retrying immediately.
+// unchanged; an Interrupt request stops retrying immediately — including
+// mid-backoff, so a canceled query is not pinned to the remainder of a
+// sleep it started before the interrupt landed.
 func (a *Accessor) withRetry(do func() error) error {
 	backoff := a.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
@@ -313,7 +339,13 @@ func (a *Accessor) withRetry(do func() error) error {
 			return err
 		}
 		a.stats.Retries++
-		time.Sleep(backoff)
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-a.abortCh():
+			t.Stop()
+			return err
+		}
 		if backoff *= 2; backoff > DefaultRetryCap {
 			backoff = DefaultRetryCap
 		}

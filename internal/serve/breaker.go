@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults.
+const (
+	// DefaultBreakerThreshold is the number of consecutive infrastructure
+	// failures (see infraFailure) that trip a target's breaker.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is how long a tripped breaker stays open
+	// before it lets one half-open probe through.
+	DefaultBreakerCooldown = time.Second
+)
+
+// BreakerConfig tunes the per-target circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive infrastructure failures that
+	// trip the breaker. 0 means DefaultBreakerThreshold; negative disables
+	// the breaker entirely.
+	Threshold int
+	// Cooldown is the open→half-open delay. 0 means
+	// DefaultBreakerCooldown.
+	Cooldown time.Duration
+}
+
+// BreakerState is the observable state of one target's breaker.
+type BreakerState int
+
+const (
+	// BreakerClosed: queries flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: queries fail fast with ErrCircuitOpen until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe query is in flight; its outcome closes or
+	// re-opens the breaker. Other queries still fail fast.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// breaker is one target's circuit breaker. A target that keeps producing
+// infrastructure failures — transient faults a full retry budget could not
+// absorb, wedged calls, evaluation timeouts — trips its breaker after
+// Threshold consecutive failures; while open, queries fail fast with
+// ErrCircuitOpen instead of tying up a worker on a sick target. After
+// Cooldown the breaker admits exactly one probe; the probe's success closes
+// the breaker, its failure re-opens it for another cooldown.
+type breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for deterministic tests
+
+	state    BreakerState
+	fails    int       // consecutive infra failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // the half-open probe is in flight
+
+	trips     int64 // times the breaker opened (including probe failures)
+	fastFails int64 // queries refused while open
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultBreakerThreshold
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultBreakerCooldown
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg, now: now}
+}
+
+// disabled reports whether the breaker is configured off.
+func (b *breaker) disabled() bool { return b.cfg.Threshold < 0 }
+
+// admit decides whether a query may proceed. probe is true when the query
+// is the half-open probe whose outcome decides recovery; the caller must
+// hand that flag back to record (or cancelProbe if the query never ran).
+func (b *breaker) admit() (probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.disabled() {
+		return false, nil
+	}
+	switch b.state {
+	case BreakerClosed:
+		return false, nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.fastFails++
+			return false, ErrCircuitOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, nil
+	default: // half-open
+		if b.probing {
+			b.fastFails++
+			return false, ErrCircuitOpen
+		}
+		b.probing = true
+		return true, nil
+	}
+}
+
+// record feeds one admitted query's outcome back.
+func (b *breaker) record(probe, infraFail bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.disabled() {
+		return
+	}
+	if probe {
+		b.probing = false
+		if infraFail {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		} else {
+			b.state = BreakerClosed
+			b.fails = 0
+		}
+		return
+	}
+	if b.state != BreakerClosed {
+		// A pre-trip straggler completing after the breaker opened; its
+		// outcome says nothing the trip didn't.
+		return
+	}
+	if !infraFail {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.cfg.Threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.fails = 0
+		b.trips++
+	}
+}
+
+// cancelProbe releases the half-open probe slot when an admitted probe was
+// shed or drained before it ran, so the next admission can probe instead of
+// deadlocking the breaker in half-open.
+func (b *breaker) cancelProbe() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// snapshot returns the state and counters for stats reporting.
+func (b *breaker) snapshot() (state BreakerState, trips, fastFails int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips, b.fastFails
+}

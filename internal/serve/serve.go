@@ -1,0 +1,609 @@
+// Package serve is a concurrent DUEL evaluation service: many queries
+// multiplexed over pooled sessions against shared debug targets.
+//
+// Hanson's revisited machine-independent debugger (PAPERS.md) recasts the
+// debugger as a client/server system over the same narrow nub interface this
+// repository's dbgif.Debugger reproduces; once the debugger is a server, one
+// slow, sick or wedged target must not take the service down with it. The
+// serving layer composes the robustness primitives built in the layers
+// below — core.EvalContext's cancellation watchdog, memio's interruptible
+// retry/interrupt machinery, faultdbg's reproducible sickness — into a
+// server with explicit operational behavior:
+//
+//   - Admission control. A bounded worker pool pulls queries from a bounded
+//     queue; when the queue is full the server sheds the query immediately
+//     with ErrOverloaded instead of queueing unboundedly and deadlocking
+//     under overload.
+//   - Per-target circuit breakers. Repeated infrastructure failures
+//     (unretryable transient faults, wedged calls, evaluation timeouts)
+//     trip the target's breaker; while open, queries against it fail fast
+//     with ErrCircuitOpen instead of tying workers up on a sick target, and
+//     a half-open probe closes the breaker once the target recovers.
+//   - Per-query governance. Every evaluation runs under the session's
+//     MaxSteps/Timeout limits composed with the caller's context: canceling
+//     the context cancels the evaluator at its next step check AND
+//     interrupts the memory chain, so even a query wedged inside a hanging
+//     target call unwinds promptly.
+//   - Graceful drain. Shutdown stops admissions, lets admitted queries
+//     finish, and past the caller's deadline revokes what is still running;
+//     it leaks no goroutines either way.
+//
+// Sessions are pooled per target: a duel.Session evaluates one expression
+// at a time (its name-resolution stack and step budget are per-evaluation
+// state), so parallelism across queries comes from a pool of sessions, each
+// with its own memio.Accessor — which also keeps one query's interrupt from
+// aborting its neighbors. The target below the pool has no synchronization
+// of its own, so the server classifies each query by AST walk: queries that
+// only read target memory share the target under a read lock, while
+// mutating queries (assignments, ++/--, target calls, declarations, interned
+// string literals) get it exclusively, and every pooled accessor is flushed
+// before the write lock drops so no session serves stale bytes.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"duel"
+	"duel/internal/core"
+	"duel/internal/dbgif"
+	"duel/internal/duel/ast"
+	"duel/internal/memio"
+)
+
+// Typed admission errors. Callers match them with errors.Is.
+var (
+	// ErrOverloaded: the queue was full; the query was shed un-run.
+	ErrOverloaded = errors.New("serve: overloaded, query shed")
+	// ErrDraining: the server is shutting down and admits nothing new.
+	ErrDraining = errors.New("serve: draining, query refused")
+	// ErrCircuitOpen: the target's circuit breaker is open; the query
+	// failed fast without touching the target.
+	ErrCircuitOpen = errors.New("serve: circuit open, failing fast")
+	// ErrUnknownTarget: no target registered under that name.
+	ErrUnknownTarget = errors.New("serve: unknown target")
+)
+
+// Serving defaults, chosen so a zero Config yields a usable server: enough
+// workers to exploit the host, a queue deep enough to absorb bursts but
+// shallow enough that overload sheds within one scheduling quantum, and
+// finite per-query safety limits (an unbounded serve session would let one
+// runaway "e.." query pin a worker forever).
+const (
+	DefaultQueueFactor = 2                // QueueDepth = factor × Workers
+	DefaultMaxSteps    = 1 << 22          // per-query step budget
+	DefaultTimeout     = 30 * time.Second // per-query wall-clock budget
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the number of evaluation workers. 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds queries admitted but not yet running. 0 means
+	// DefaultQueueFactor × Workers; beyond it, queries shed with
+	// ErrOverloaded.
+	QueueDepth int
+	// Session is the option template for pooled sessions. A zero value
+	// means duel.DefaultOptions; zero MaxSteps/Timeout get the serving
+	// defaults either way, so serve sessions are always bounded.
+	Session duel.Options
+	// Breaker tunes the per-target circuit breakers.
+	Breaker BreakerConfig
+
+	// now overrides the breaker clock in tests.
+	now func() time.Time
+}
+
+// Stats is a snapshot of a Server's admission and outcome counters.
+// Breaker counters aggregate over all registered targets.
+type Stats struct {
+	Admitted  int64 // queries accepted into the queue
+	Completed int64 // admitted queries that ran to completion (ok or error)
+	Failed    int64 // completed queries whose evaluation returned an error
+	Shed      int64 // refused with ErrOverloaded
+	Drained   int64 // refused with ErrDraining, or canceled while queued
+	FastFails int64 // refused with ErrCircuitOpen
+	Trips     int64 // breaker trips
+}
+
+type serverState int
+
+const (
+	stateServing serverState = iota
+	stateDraining
+)
+
+// Server is the concurrent evaluation service. Create it with New, add
+// targets with Register, then call Eval/Exec from any number of
+// goroutines. Shut it down exactly once with Shutdown.
+type Server struct {
+	cfg Config
+
+	// admitMu arbitrates admission against drain: every enqueue holds it
+	// for reading across the state check AND the queue send, and Shutdown
+	// flips the state holding it for writing — so once Shutdown returns
+	// from that flip, no query can slip into the queue behind the drain.
+	admitMu sync.RWMutex
+	state   serverState
+	queue   chan *job
+
+	targetMu sync.RWMutex
+	targets  map[string]*targetState
+
+	wg      sync.WaitGroup
+	drainCh chan struct{} // closed when Shutdown begins
+
+	// hardCtx cancels in-flight evaluations when the drain deadline
+	// passes; every evaluation runs under it.
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	outMu sync.Mutex // serializes Exec flushes to shared io.Writers
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// targetState is one registered target: its session pool, breaker, and the
+// read/write lock that keeps mutating queries exclusive.
+type targetState struct {
+	name    string
+	factory func() (*duel.Session, error)
+	brk     *breaker
+
+	// rw lets read-only queries share the target; mutating queries take it
+	// exclusively (the substrate below the sessions is unsynchronized).
+	rw sync.RWMutex
+
+	poolMu sync.Mutex
+	idle   []*duel.Session
+	all    []*duel.Session // every session ever created, for post-write flushes
+}
+
+// job is one admitted query.
+type job struct {
+	ctx   context.Context
+	t     *targetState
+	src   string
+	emit  func(duel.Result) error
+	probe bool // this query is its target's half-open breaker probe
+	done  chan error
+}
+
+// New starts a server with cfg's worker pool running. It performs no I/O;
+// register targets before submitting queries.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueFactor * cfg.Workers
+	}
+	if cfg.Session.Backend == "" {
+		cfg.Session = duel.DefaultOptions()
+	}
+	if cfg.Session.Eval.MaxSteps == 0 {
+		cfg.Session.Eval.MaxSteps = DefaultMaxSteps
+	}
+	if cfg.Session.Eval.Timeout == 0 {
+		cfg.Session.Eval.Timeout = DefaultTimeout
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueDepth),
+		targets: make(map[string]*targetState),
+		drainCh: make(chan struct{}),
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Register adds a target under name, serving it with sessions built from
+// the server's session options. Registering a name twice replaces the old
+// target (its pooled sessions are dropped; in-flight queries finish against
+// the old one).
+func (s *Server) Register(name string, d dbgif.Debugger) {
+	opts := s.cfg.Session
+	s.RegisterFactory(name, func() (*duel.Session, error) {
+		return duel.NewSession(d, opts)
+	})
+}
+
+// RegisterFactory adds a target whose pooled sessions come from factory —
+// for callers that want a private middleware chain (e.g. a fault injector)
+// per session, so one session's Interrupt cannot cross-talk into another's.
+func (s *Server) RegisterFactory(name string, factory func() (*duel.Session, error)) {
+	t := &targetState{
+		name:    name,
+		factory: factory,
+		brk:     newBreaker(s.cfg.Breaker, s.cfg.now),
+	}
+	s.targetMu.Lock()
+	s.targets[name] = t
+	s.targetMu.Unlock()
+}
+
+// lookup resolves a registered target.
+func (s *Server) lookup(name string) (*targetState, error) {
+	s.targetMu.RLock()
+	t := s.targets[name]
+	s.targetMu.RUnlock()
+	if t == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTarget, name)
+	}
+	return t, nil
+}
+
+// BreakerState reports the named target's breaker state.
+func (s *Server) BreakerState(name string) (BreakerState, error) {
+	t, err := s.lookup(name)
+	if err != nil {
+		return BreakerClosed, err
+	}
+	st, _, _ := t.brk.snapshot()
+	return st, nil
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	s.statsMu.Lock()
+	st := s.stats
+	s.statsMu.Unlock()
+	s.targetMu.RLock()
+	for _, t := range s.targets {
+		_, trips, fastFails := t.brk.snapshot()
+		st.Trips += trips
+		st.FastFails += fastFails
+	}
+	s.targetMu.RUnlock()
+	return st
+}
+
+func (s *Server) bump(f func(*Stats)) {
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
+}
+
+// Eval evaluates src against the named target, collecting all produced
+// values. It blocks until the query completes, is shed, or is canceled;
+// canceling ctx revokes the query even mid-evaluation.
+func (s *Server) Eval(ctx context.Context, target, src string) ([]duel.Result, error) {
+	var mu sync.Mutex
+	var out []duel.Result
+	err := s.submit(ctx, target, src, func(r duel.Result) error {
+		mu.Lock()
+		out = append(out, r)
+		mu.Unlock()
+		return nil
+	})
+	return out, err
+}
+
+// Exec evaluates src against the named target and writes one line per value
+// to w, with the session's MaxOutput truncation behavior. Output is
+// buffered per query and written with a single serialized Write, so any
+// number of concurrent queries can share one io.Writer without interleaving
+// mid-line.
+func (s *Server) Exec(ctx context.Context, target string, w io.Writer, src string) error {
+	maxOut := s.cfg.Session.MaxOutput
+	var buf bytes.Buffer
+	count := 0
+	err := s.submit(ctx, target, src, func(r duel.Result) error {
+		count++
+		if maxOut > 0 && count > maxOut {
+			fmt.Fprintf(&buf, "... (output truncated at %d lines)\n", maxOut)
+			return errTruncated
+		}
+		_, err := fmt.Fprintln(&buf, r.Line())
+		return err
+	})
+	if errors.Is(err, errTruncated) {
+		err = nil
+	}
+	if buf.Len() > 0 {
+		s.outMu.Lock()
+		_, werr := w.Write(buf.Bytes())
+		s.outMu.Unlock()
+		if err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// errTruncated mirrors the session-level sentinel: truncation is not a
+// failure.
+var errTruncated = errors.New("serve: output truncated")
+
+// submit runs one query through admission, the queue, and a worker. emit is
+// called from the worker goroutine; the happens-before edge of the done
+// channel makes whatever it wrote visible to the caller afterwards.
+func (s *Server) submit(ctx context.Context, target, src string, emit func(duel.Result) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t, err := s.lookup(target)
+	if err != nil {
+		return err
+	}
+
+	s.admitMu.RLock()
+	if s.state != stateServing {
+		s.admitMu.RUnlock()
+		s.bump(func(st *Stats) { st.Drained++ })
+		return ErrDraining
+	}
+	probe, err := t.brk.admit()
+	if err != nil {
+		s.admitMu.RUnlock()
+		return fmt.Errorf("target %q: %w", target, err)
+	}
+	j := &job{ctx: ctx, t: t, src: src, emit: emit, probe: probe, done: make(chan error, 1)}
+	select {
+	case s.queue <- j:
+		s.admitMu.RUnlock()
+	default:
+		s.admitMu.RUnlock()
+		if probe {
+			t.brk.cancelProbe()
+		}
+		s.bump(func(st *Stats) { st.Shed++ })
+		return ErrOverloaded
+	}
+	s.bump(func(st *Stats) { st.Admitted++ })
+
+	// Always wait for the worker: the evaluation itself is revocable
+	// through ctx, so this wait is bounded by the caller's own deadline,
+	// and never returning early keeps emit's writes race-free.
+	return <-j.done
+}
+
+// worker pulls jobs until drain, then finishes whatever is still queued.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			j.done <- s.run(j)
+		case <-s.drainCh:
+			for {
+				select {
+				case j := <-s.queue:
+					j.done <- s.run(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// run executes one admitted query on the calling worker.
+func (s *Server) run(j *job) error {
+	if err := context.Cause(j.ctx); err != nil {
+		// The caller gave up while the query was queued.
+		if j.probe {
+			j.t.brk.cancelProbe()
+		}
+		s.bump(func(st *Stats) { st.Drained++ })
+		return &core.CanceledError{Cause: err}
+	}
+	if s.hardCtx.Err() != nil {
+		// The drain deadline passed while the query was queued.
+		if j.probe {
+			j.t.brk.cancelProbe()
+		}
+		s.bump(func(st *Stats) { st.Drained++ })
+		return ErrDraining
+	}
+
+	ses, err := j.t.session()
+	if err != nil {
+		if j.probe {
+			j.t.brk.cancelProbe()
+		}
+		s.bump(func(st *Stats) { st.Completed++; st.Failed++ })
+		return err
+	}
+	n, perr := ses.ParseCached(j.src)
+	if perr != nil {
+		// A parse error never reached the target; it says nothing about
+		// target health, so the breaker does not hear about it.
+		if j.probe {
+			j.t.brk.cancelProbe()
+		}
+		j.t.release(ses, false)
+		s.bump(func(st *Stats) { st.Completed++; st.Failed++ })
+		return perr
+	}
+
+	// Compose the caller's context with the server's drain deadline.
+	ctx, cancel := context.WithCancel(j.ctx)
+	stop := context.AfterFunc(s.hardCtx, cancel)
+
+	mutating := MutatesTarget(n)
+	if mutating {
+		j.t.rw.Lock()
+	} else {
+		j.t.rw.RLock()
+	}
+	err = ses.EvalNodeContext(ctx, n, j.emit)
+	if mutating {
+		// Every pooled session has its own accessor over the shared
+		// substrate; drop their cached/prefetched pages before readers
+		// come back so none serves pre-write bytes.
+		j.t.flushAll()
+		j.t.rw.Unlock()
+	} else {
+		j.t.rw.RUnlock()
+	}
+	stop()
+	cancel()
+
+	j.t.brk.record(j.probe, infraFailure(err))
+	j.t.release(ses, Pollutes(n))
+	s.bump(func(st *Stats) {
+		st.Completed++
+		if err != nil {
+			st.Failed++
+		}
+	})
+	return err
+}
+
+// Shutdown drains the server: admissions stop immediately, queries already
+// admitted run to completion, and once ctx expires whatever is still
+// running is revoked (its callers see *core.CanceledError) and whatever is
+// still queued is refused with ErrDraining. It returns nil after a clean
+// drain, ctx's error if the deadline forced revocation — in both cases only
+// after every worker goroutine has exited, so a Shutdown that returned
+// leaks nothing. Subsequent queries fail with ErrDraining; subsequent
+// Shutdowns are no-ops that wait the same way.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.admitMu.Lock()
+	if s.state == stateServing {
+		s.state = stateDraining
+		close(s.drainCh)
+	}
+	s.admitMu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+		s.hardCancel()
+		return nil
+	case <-ctx.Done():
+		s.hardCancel()
+		<-workersDone
+		return ctx.Err()
+	}
+}
+
+// session pops an idle pooled session or builds a fresh one.
+func (t *targetState) session() (*duel.Session, error) {
+	t.poolMu.Lock()
+	if n := len(t.idle); n > 0 {
+		ses := t.idle[n-1]
+		t.idle = t.idle[:n-1]
+		t.poolMu.Unlock()
+		return ses, nil
+	}
+	t.poolMu.Unlock()
+	ses, err := t.factory()
+	if err != nil {
+		return nil, err
+	}
+	t.poolMu.Lock()
+	t.all = append(t.all, ses)
+	t.poolMu.Unlock()
+	return ses, nil
+}
+
+// release returns a session to the pool. polluted marks a query that grew
+// session-local state (aliases, DUEL declarations, interned strings); such
+// sessions are wiped so every pooled session stays interchangeable — a
+// follow-up query must not see another caller's x := alias.
+func (t *targetState) release(ses *duel.Session, polluted bool) {
+	if polluted {
+		ses.ClearAliases()
+	}
+	t.poolMu.Lock()
+	t.idle = append(t.idle, ses)
+	t.poolMu.Unlock()
+}
+
+// flushAll drops every session accessor's resident pages. Called with the
+// target write lock held, after a mutating query.
+func (t *targetState) flushAll() {
+	t.poolMu.Lock()
+	all := t.all
+	t.poolMu.Unlock()
+	for _, ses := range all {
+		ses.Mem().Flush()
+	}
+}
+
+// MutatesTarget reports whether the tree can write target memory or run
+// target code: assignments, increments/decrements, target calls,
+// declarations and interned string literals (both allocate target space).
+// Alias definitions (x := e) are session-local state, not target writes.
+func MutatesTarget(n *ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	switch n.Op {
+	case ast.OpAssign, ast.OpAddAssign, ast.OpSubAssign, ast.OpMulAssign,
+		ast.OpDivAssign, ast.OpModAssign, ast.OpAndAssign, ast.OpOrAssign,
+		ast.OpXorAssign, ast.OpShlAssign, ast.OpShrAssign,
+		ast.OpPreInc, ast.OpPreDec, ast.OpPostInc, ast.OpPostDec,
+		ast.OpCall, ast.OpDecl, ast.OpStr:
+		return true
+	}
+	for _, k := range n.Kids {
+		if MutatesTarget(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pollutes reports whether the tree leaves session-local state behind that
+// would make the session non-interchangeable in the pool.
+func Pollutes(n *ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	if n.Op == ast.OpDefine || n.Op == ast.OpDecl || n.Op == ast.OpStr {
+		return true
+	}
+	for _, k := range n.Kids {
+		if Pollutes(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// infraFailure classifies an evaluation error for the circuit breaker: true
+// for failures that indicate a sick target — transient faults the retry
+// budget could not absorb, wedged or failed operations, evaluation
+// timeouts — and false for everything that is the query's (or caller's) own
+// doing: clean success, parse and type errors, step-limit hits, context
+// cancellation, and the paper's garbage-pointer unmapped/short reads, which
+// condemn the query's pointer, not the target.
+func infraFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ce *core.CanceledError
+	if errors.As(err, &ce) {
+		return false
+	}
+	var te *core.TimeoutError
+	if errors.As(err, &te) {
+		return true
+	}
+	var f *memio.Fault
+	if errors.As(err, &f) {
+		return f.Kind == memio.KindTransient || f.Kind == memio.KindOther
+	}
+	return false
+}

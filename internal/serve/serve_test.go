@@ -1,0 +1,712 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"duel"
+	"duel/internal/core"
+	"duel/internal/ctype"
+	"duel/internal/dbgif"
+	"duel/internal/fakedbg"
+	"duel/internal/faultdbg"
+	"duel/internal/mem"
+)
+
+// buildDebuggee is the differential fixture shared with the compiled
+// backend's parity suite: int x[10], a 5-node list at head, a native
+// function twice(k) = 2*k.
+func buildDebuggee(t *testing.T) *fakedbg.Fake {
+	t.Helper()
+	f := fakedbg.New(ctype.ILP32, 1<<16)
+	a := f.A
+
+	vals := []int64{3, -1, 4, -1, 5, 9, -2, 6, 0, 7}
+	x := f.MustVar("x", a.ArrayOf(a.Int, len(vals)))
+	for i, v := range vals {
+		if err := f.PutTargetBytes(x.Addr+uint64(4*i), mem.EncodeUint(uint64(v), 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	node := a.NewStruct("node", false)
+	if err := a.SetFields(node, []ctype.FieldSpec{
+		{Name: "value", Type: a.Int},
+		{Name: "next", Type: a.Ptr(node)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.Structs["node"] = node
+
+	head := f.MustVar("head", a.Ptr(node))
+	list := []int64{2, 7, 1, 7, 8}
+	next := uint64(0)
+	for i := len(list) - 1; i >= 0; i-- {
+		addr, err := f.AllocTargetSpace(node.Size(), node.Align())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.PutTargetBytes(addr, mem.EncodeUint(uint64(list[i]), 4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.PutTargetBytes(addr+4, mem.EncodeUint(next, 4)); err != nil {
+			t.Fatal(err)
+		}
+		next = addr
+	}
+	if err := f.PutTargetBytes(head.Addr, mem.EncodeUint(next, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	ft := a.FuncOf(a.Int, []ctype.Type{a.Int}, false)
+	f.Vars["twice"] = dbgif.VarInfo{Name: "twice", Type: ft, Addr: 0x9000}
+	f.Funcs[0x9000] = func(args []dbgif.Value) (dbgif.Value, error) {
+		v := 2 * mem.DecodeInt(args[0].Bytes)
+		return dbgif.Value{Type: a.Int, Bytes: mem.EncodeUint(uint64(v), 4)}, nil
+	}
+	return f
+}
+
+// parityQueries is the 39-query suite from the compiled backend's parity
+// tests, reused here as the server-path differential: everything a session
+// answers directly, the server must answer identically.
+var parityQueries = []string{
+	"1+2*3",
+	"-x[0] + !x[1]",
+	"(char)65",
+	"sizeof(int)",
+	"sizeof(x[0])",
+	"x[..10]",
+	"x[2..5]",
+	"x[..10] >? 4",
+	"x[..10] @ (_ < 0)",
+	"x[0..]@(_==5)",
+	"+/x[..10]",
+	"#/(x[..10] != 0)",
+	"&&/(x[..10] > -10)",
+	"||/(x[..10] > 8)",
+	"x[..10] && 1",
+	"x[0] || x[1]",
+	"if (x[0] > 0) x[1] else x[2]",
+	"x[0] > 0 ? x[1] : x[2]",
+	"(1..3) + (5,9)",
+	"(x[..10] >? 0)[[2]]",
+	"(0..9)[[2..4]]",
+	"head-->next->value",
+	"#/(head-->next)",
+	"head-->next->(value ==? 7)",
+	"head-->>next->value",
+	"x[..10] # i => i",
+	"y := x[2..5]",
+	"twice(x[2..5])",
+	"int z; z = 42; z",
+	"x[0] = 11",
+	"x[0] += 4",
+	"x[0]++",
+	"--x[0]",
+	"(1..3) => 7",
+	"while (x[0] > 0) x[0]--",
+	"frames()",
+	"(struct node *) 0 == 0",
+	"{x[3]}",
+	"\"abc\"[1]",
+}
+
+// sesExec runs one query in a fresh session (matching the server's pooled,
+// alias-free sessions) and returns its Exec output and error string.
+func sesExec(t *testing.T, d dbgif.Debugger, src string) (string, string) {
+	t.Helper()
+	ses := duel.MustNewSession(d)
+	var buf bytes.Buffer
+	err := ses.Exec(&buf, src)
+	return buf.String(), fmt.Sprint(err)
+}
+
+// checkNoLeak mirrors internal/core/chan_leak_test.go: run fn, then assert
+// the goroutine count settles back near the starting level.
+func checkNoLeak(t *testing.T, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	runtime.GC()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerDifferentialParity holds the server path to session semantics:
+// running the 39-query parity suite in order through Server.Exec must
+// produce byte-identical output (and identical error text) to fresh
+// sessions evaluating the same order directly — mutations included. Then
+// the read-only subset is blasted concurrently and every answer must still
+// match. Run under -race this is the concurrency audit of the whole stack.
+func TestServerDifferentialParity(t *testing.T) {
+	checkNoLeak(t, func() {
+		ref := buildDebuggee(t)
+		srvTarget := buildDebuggee(t)
+		srv := New(Config{Workers: 4})
+		srv.Register("t", srvTarget)
+		ctx := context.Background()
+
+		for _, src := range parityQueries {
+			wantOut, wantErr := sesExec(t, ref, src)
+			var buf bytes.Buffer
+			err := srv.Exec(ctx, "t", &buf, src)
+			if buf.String() != wantOut {
+				t.Errorf("%q: server output diverges:\n--- session\n%s--- server\n%s", src, wantOut, buf.String())
+			}
+			if fmt.Sprint(err) != wantErr {
+				t.Errorf("%q: server error diverges: %v vs %s", src, err, wantErr)
+			}
+		}
+
+		// The sequential pass mutated both fixtures identically; now blast
+		// the queries that neither write the target nor leave session
+		// state, all goroutines sharing the one target under read locks.
+		var readOnly []string
+		expect := make(map[string]string)
+		ses := duel.MustNewSession(ref)
+		for _, src := range parityQueries {
+			n, err := ses.Parse(src)
+			if err != nil {
+				t.Fatalf("parse %q: %v", src, err)
+			}
+			if MutatesTarget(n) || Pollutes(n) {
+				continue
+			}
+			readOnly = append(readOnly, src)
+			out, errs := sesExec(t, ref, src)
+			expect[src] = out + "\nerr=" + errs
+		}
+		if len(readOnly) < 20 {
+			t.Fatalf("read-only subset suspiciously small: %d queries", len(readOnly))
+		}
+
+		var wg sync.WaitGroup
+		errCh := make(chan string, 64)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 3*len(readOnly); i++ {
+					src := readOnly[(g+i)%len(readOnly)]
+					var buf bytes.Buffer
+					err := srv.Exec(ctx, "t", &buf, src)
+					got := buf.String() + "\nerr=" + fmt.Sprint(err)
+					if got != expect[src] {
+						select {
+						case errCh <- fmt.Sprintf("%q diverged concurrently:\n--- want\n%s\n--- got\n%s", src, expect[src], got):
+						default:
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errCh)
+		for msg := range errCh {
+			t.Error(msg)
+		}
+
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatalf("clean shutdown returned %v", err)
+		}
+		st := srv.Stats()
+		if st.Admitted == 0 || st.Completed != st.Admitted {
+			t.Errorf("stats out of balance: %+v", st)
+		}
+	})
+}
+
+// TestOverloadSheds: with one worker wedged and a one-deep queue occupied,
+// the next query must shed immediately with ErrOverloaded — not block, not
+// deadlock.
+func TestOverloadSheds(t *testing.T) {
+	checkNoLeak(t, func() {
+		f := buildDebuggee(t)
+		started := make(chan struct{}, 8)
+		release := make(chan struct{})
+		ft := f.A.FuncOf(f.A.Int, []ctype.Type{f.A.Int}, false)
+		f.Vars["slow"] = dbgif.VarInfo{Name: "slow", Type: ft, Addr: 0x9100}
+		f.Funcs[0x9100] = func(args []dbgif.Value) (dbgif.Value, error) {
+			started <- struct{}{}
+			<-release
+			return dbgif.Value{Type: f.A.Int, Bytes: mem.EncodeUint(1, 4)}, nil
+		}
+
+		srv := New(Config{Workers: 1, QueueDepth: 1})
+		srv.Register("t", f)
+		ctx := context.Background()
+
+		wedged := make(chan error, 1)
+		go func() {
+			_, err := srv.Eval(ctx, "t", "slow(1)")
+			wedged <- err
+		}()
+		<-started // the worker is now inside the target call
+
+		queued := make(chan error, 1)
+		go func() {
+			_, err := srv.Eval(ctx, "t", "x[0]")
+			queued <- err
+		}()
+		// Wait for the second query to be admitted into the queue.
+		for deadline := time.Now().Add(5 * time.Second); srv.Stats().Admitted < 2; {
+			if time.Now().After(deadline) {
+				t.Fatal("second query never admitted")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		if _, err := srv.Eval(ctx, "t", "x[1]"); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("overloaded submit: got %v, want ErrOverloaded", err)
+		}
+
+		close(release)
+		if err := <-wedged; err != nil {
+			t.Fatalf("wedged query failed: %v", err)
+		}
+		if err := <-queued; err != nil {
+			t.Fatalf("queued query failed: %v", err)
+		}
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if st := srv.Stats(); st.Shed != 1 {
+			t.Errorf("Shed = %d, want 1 (%+v)", st.Shed, st)
+		}
+	})
+}
+
+// fakeClock is the injectable breaker clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerTripsFailsFastRecovers pins the breaker lifecycle against an
+// injected sick target and a pinned clock: three straight transient-fault
+// queries trip it; while open, queries fail fast without touching the
+// target; after the cooldown one probe closes it again.
+func TestBreakerTripsFailsFastRecovers(t *testing.T) {
+	checkNoLeak(t, func() {
+		f := buildDebuggee(t)
+		inj := faultdbg.New(f, faultdbg.Plan{
+			Rates: map[faultdbg.Kind]float64{faultdbg.Transient: 1},
+		})
+		clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+		srv := New(Config{
+			Workers: 1,
+			Breaker: BreakerConfig{Threshold: 3, Cooldown: time.Second},
+			now:     clk.now,
+		})
+		srv.RegisterFactory("t", func() (*duel.Session, error) {
+			return duel.NewSession(inj, duel.DefaultOptions())
+		})
+		ctx := context.Background()
+
+		for i := 0; i < 3; i++ {
+			if _, err := srv.Eval(ctx, "t", "x[0]"); err == nil {
+				t.Fatalf("query %d against the sick target unexpectedly succeeded", i)
+			}
+			want := BreakerClosed
+			if i == 2 {
+				want = BreakerOpen
+			}
+			if st, _ := srv.BreakerState("t"); st != want {
+				t.Fatalf("after failure %d: breaker %v, want %v", i+1, st, want)
+			}
+		}
+
+		// Open: fail fast, and prove the target was not touched.
+		opsBefore := inj.Stats().Ops
+		if _, err := srv.Eval(ctx, "t", "x[0]"); !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("open-breaker submit: got %v, want ErrCircuitOpen", err)
+		}
+		if ops := inj.Stats().Ops; ops != opsBefore {
+			t.Errorf("fast-fail touched the target: %d ops -> %d", opsBefore, ops)
+		}
+
+		// Cooldown elapses, target recovers: the next query is the probe,
+		// its success closes the breaker, and traffic flows again.
+		clk.advance(2 * time.Second)
+		inj.Disarm()
+		if _, err := srv.Eval(ctx, "t", "x[0]"); err != nil {
+			t.Fatalf("probe after recovery failed: %v", err)
+		}
+		if st, _ := srv.BreakerState("t"); st != BreakerClosed {
+			t.Fatalf("after successful probe: breaker %v, want closed", st)
+		}
+		if _, err := srv.Eval(ctx, "t", "x[0]"); err != nil {
+			t.Fatalf("post-recovery query failed: %v", err)
+		}
+
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		st := srv.Stats()
+		if st.Trips != 1 {
+			t.Errorf("Trips = %d, want 1", st.Trips)
+		}
+		if st.FastFails != 1 {
+			t.Errorf("FastFails = %d, want 1", st.FastFails)
+		}
+	})
+}
+
+// TestBreakerReopensOnFailedProbe: a probe that fails must re-open the
+// breaker for another full cooldown.
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	b := newBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Second}, clk.now)
+	b.record(false, true)
+	b.record(false, true)
+	if b.state != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", b.state)
+	}
+	if _, err := b.admit(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("admit while open: %v", err)
+	}
+	clk.advance(1500 * time.Millisecond)
+	probe, err := b.admit()
+	if err != nil || !probe {
+		t.Fatalf("post-cooldown admit: probe=%v err=%v, want probe", probe, err)
+	}
+	// While the probe is out, others still fail fast.
+	if _, err := b.admit(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("admit during probe: %v", err)
+	}
+	b.record(true, true) // the probe fails
+	if b.state != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.state)
+	}
+	if _, err := b.admit(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("admit inside second cooldown: %v", err)
+	}
+	clk.advance(2 * time.Second)
+	probe, err = b.admit()
+	if err != nil || !probe {
+		t.Fatalf("second probe admit: probe=%v err=%v", probe, err)
+	}
+	b.record(true, false)
+	if b.state != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.state)
+	}
+	if b.trips != 2 {
+		t.Errorf("trips = %d, want 2", b.trips)
+	}
+}
+
+// TestShutdownDrainsCleanly: a shutdown with no deadline pressure finishes
+// the admitted queries, refuses later ones with ErrDraining, and leaks
+// nothing.
+func TestShutdownDrainsCleanly(t *testing.T) {
+	checkNoLeak(t, func() {
+		f := buildDebuggee(t)
+		srv := New(Config{Workers: 2})
+		srv.Register("t", f)
+		ctx := context.Background()
+		for i := 0; i < 20; i++ {
+			if _, err := srv.Eval(ctx, "t", "x[..10]"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatalf("Shutdown = %v, want nil", err)
+		}
+		if _, err := srv.Eval(ctx, "t", "x[0]"); !errors.Is(err, ErrDraining) {
+			t.Fatalf("post-shutdown submit: got %v, want ErrDraining", err)
+		}
+		// A second Shutdown is a quiet no-op.
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatalf("second Shutdown = %v", err)
+		}
+	})
+}
+
+// TestShutdownCancelsAtDeadline: a query wedged inside a hanging target
+// call must be revoked when the drain deadline passes — the hard cancel
+// interrupts the memory chain, the hang releases, the caller sees a
+// *core.CanceledError, Shutdown returns the context error, and no
+// goroutine survives.
+func TestShutdownCancelsAtDeadline(t *testing.T) {
+	checkNoLeak(t, func() {
+		f := buildDebuggee(t)
+		inj := faultdbg.New(f, faultdbg.Plan{
+			Rates: map[faultdbg.Kind]float64{faultdbg.CallHang: 1},
+			Hang:  30 * time.Second,
+		})
+		srv := New(Config{Workers: 1})
+		srv.RegisterFactory("t", func() (*duel.Session, error) {
+			return duel.NewSession(inj, duel.DefaultOptions())
+		})
+
+		wedged := make(chan error, 1)
+		go func() {
+			_, err := srv.Eval(context.Background(), "t", "twice(1)")
+			wedged <- err
+		}()
+		// Wait until the call is provably hanging.
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			if inj.Stats().Injected[faultdbg.CallHang] >= 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("target call never wedged")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+		}
+		if took := time.Since(start); took > 5*time.Second {
+			t.Fatalf("forced shutdown took %v; the hang was not revoked", took)
+		}
+		err := <-wedged
+		var ce *core.CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("revoked query returned %v, want *core.CanceledError", err)
+		}
+	})
+}
+
+// TestShedWhileDraining: with a wedged worker and the drain already begun,
+// new queries are refused immediately with ErrDraining — admission control
+// stays responsive all the way down — and the drain still completes at its
+// deadline without leaking.
+func TestShedWhileDraining(t *testing.T) {
+	checkNoLeak(t, func() {
+		f := buildDebuggee(t)
+		inj := faultdbg.New(f, faultdbg.Plan{
+			Rates: map[faultdbg.Kind]float64{faultdbg.CallHang: 1},
+			Hang:  30 * time.Second,
+		})
+		srv := New(Config{Workers: 1})
+		srv.RegisterFactory("t", func() (*duel.Session, error) {
+			return duel.NewSession(inj, duel.DefaultOptions())
+		})
+
+		wedged := make(chan error, 1)
+		go func() {
+			_, err := srv.Eval(context.Background(), "t", "twice(1)")
+			wedged <- err
+		}()
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			if inj.Stats().Injected[faultdbg.CallHang] >= 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("target call never wedged")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		shutdownErr := make(chan error, 1)
+		ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+		defer cancel()
+		go func() { shutdownErr <- srv.Shutdown(ctx) }()
+
+		// Admissions must be refused the moment draining begins.
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			_, err := srv.Eval(context.Background(), "t", "x[0]")
+			if errors.Is(err, ErrDraining) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("submit while draining: unexpected %v", err)
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("draining refusal never observed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		if err := <-shutdownErr; !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+		}
+		<-wedged
+	})
+}
+
+// TestCallerCancelRevokesQuery: canceling the submitting caller's own
+// context revokes a query wedged in a hanging call, without shutting the
+// server down.
+func TestCallerCancelRevokesQuery(t *testing.T) {
+	checkNoLeak(t, func() {
+		f := buildDebuggee(t)
+		inj := faultdbg.New(f, faultdbg.Plan{
+			Rates: map[faultdbg.Kind]float64{faultdbg.CallHang: 1},
+			Hang:  30 * time.Second,
+		})
+		srv := New(Config{Workers: 2})
+		srv.RegisterFactory("t", func() (*duel.Session, error) {
+			return duel.NewSession(inj, duel.DefaultOptions())
+		})
+
+		ctx, cancel := context.WithCancel(context.Background())
+		wedged := make(chan error, 1)
+		go func() {
+			_, err := srv.Eval(ctx, "t", "twice(1)")
+			wedged <- err
+		}()
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			if inj.Stats().Injected[faultdbg.CallHang] >= 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("target call never wedged")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		err := <-wedged
+		var ce *core.CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("canceled query returned %v, want *core.CanceledError", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled query does not unwrap to context.Canceled: %v", err)
+		}
+		// The server is still healthy: the hang poisoned neither the pool
+		// nor its sibling sessions' interrupt state.
+		inj.Disarm()
+		if _, err := srv.Eval(context.Background(), "t", "x[0]"); err != nil {
+			t.Fatalf("query after revocation failed: %v", err)
+		}
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestExecSerializesOutput: any number of concurrent Execs sharing one
+// io.Writer must write whole per-query blocks — never interleaved lines.
+func TestExecSerializesOutput(t *testing.T) {
+	f := buildDebuggee(t)
+	srv := New(Config{Workers: 8})
+	srv.Register("t", f)
+	ctx := context.Background()
+
+	blocks := map[string][]string{}
+	queries := []string{"x[..10]", "head-->next->value", "(1..3) + (5,9)"}
+	for _, src := range queries {
+		out, _ := sesExec(t, f, src)
+		lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%q: want a multi-line block, got %q", src, out)
+		}
+		blocks[lines[0]] = lines
+	}
+
+	var mu sync.Mutex
+	var shared bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return shared.Write(p)
+	})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := srv.Exec(ctx, "t", w, queries[(g+i)%len(queries)]); err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSuffix(shared.String(), "\n"), "\n")
+	for i := 0; i < len(lines); {
+		block, ok := blocks[lines[i]]
+		if !ok {
+			t.Fatalf("line %d: %q is not the start of any query block — output interleaved", i, lines[i])
+		}
+		for k, want := range block {
+			if i+k >= len(lines) || lines[i+k] != want {
+				t.Fatalf("block starting at line %d interleaved: want %q, got %q", i, want, lines[i+k])
+			}
+		}
+		i += len(block)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestUnknownTarget: submitting against an unregistered name is a typed
+// error, not a panic or a hang.
+func TestUnknownTarget(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	if _, err := srv.Eval(context.Background(), "nope", "1"); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("got %v, want ErrUnknownTarget", err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseErrorDoesNotTripBreaker: malformed queries are the caller's
+// fault; a stream of them must not open the target's breaker.
+func TestParseErrorDoesNotTripBreaker(t *testing.T) {
+	f := buildDebuggee(t)
+	srv := New(Config{Workers: 1, Breaker: BreakerConfig{Threshold: 2, Cooldown: time.Second}})
+	srv.Register("t", f)
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := srv.Eval(ctx, "t", "x[.."); err == nil {
+			t.Fatal("malformed query unexpectedly parsed")
+		}
+	}
+	if st, _ := srv.BreakerState("t"); st != BreakerClosed {
+		t.Fatalf("breaker = %v after parse errors, want closed", st)
+	}
+	if _, err := srv.Eval(ctx, "t", "x[0]"); err != nil {
+		t.Fatalf("well-formed query failed: %v", err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

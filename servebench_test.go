@@ -1,0 +1,128 @@
+package duel_test
+
+// Serving-layer benchmarks (see internal/serve):
+//
+//	BenchmarkServeThroughput — concurrent queries/sec through the server's
+//	                           admission path at 1, 4 and 16 workers
+//	BenchmarkServeOverload   — shed rate when submitters outrun a tiny pool
+//
+// Run: go test -bench=Serve -benchmem
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"duel"
+	"duel/internal/scenarios"
+	"duel/internal/serve"
+)
+
+// benchServer stands up a server over an int-array debuggee.
+func benchServer(b *testing.B, workers, queueDepth int) *serve.Server {
+	b.Helper()
+	d, err := scenarios.BuildIntArray(256, func(i int) int64 { return int64(i%7) - 3 })
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := duel.DefaultOptions()
+	opts.Backend = "compiled"
+	srv := serve.New(serve.Config{Workers: workers, QueueDepth: queueDepth, Session: opts})
+	srv.Register("bench", d)
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv
+}
+
+const benchServeQuery = "x[..64] >? 1000"
+
+// BenchmarkServeThroughput measures end-to-end concurrent query throughput
+// through the serving layer — admission, session pool, read lock, governed
+// evaluation — with the submitter count pinned to the worker count so the
+// queue absorbs bursts instead of shedding.
+func BenchmarkServeThroughput(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			srv := benchServer(b, workers, 4*workers)
+			ctx := context.Background()
+			// Warm the pool and the program caches.
+			if _, err := srv.Eval(ctx, "bench", benchServeQuery); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			var failed atomic.Int64
+			per := b.N / workers
+			extra := b.N % workers
+			for g := 0; g < workers; g++ {
+				n := per
+				if g < extra {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if _, err := srv.Eval(ctx, "bench", benchServeQuery); err != nil {
+							failed.Add(1)
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			if f := failed.Load(); f > 0 {
+				b.Fatalf("%d/%d queries failed", f, b.N)
+			}
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkServeOverload measures admission control under deliberate
+// overload: 32 submitters against one worker and a one-slot queue. Sheds
+// are expected — the point is that they are fast, typed refusals instead
+// of deadlocks — and the shed fraction is reported per run.
+func BenchmarkServeOverload(b *testing.B) {
+	srv := benchServer(b, 1, 1)
+	ctx := context.Background()
+	if _, err := srv.Eval(ctx, "bench", benchServeQuery); err != nil {
+		b.Fatal(err)
+	}
+	const submitters = 32
+	var shed, other atomic.Int64
+	var next atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				_, err := srv.Eval(ctx, "bench", benchServeQuery)
+				switch {
+				case errors.Is(err, serve.ErrOverloaded):
+					shed.Add(1)
+				case err != nil:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if o := other.Load(); o > 0 {
+		b.Fatalf("%d queries failed with non-overload errors", o)
+	}
+	b.ReportMetric(float64(shed.Load())/float64(b.N), "shed/op")
+}
