@@ -10,6 +10,15 @@
 // lines generically, so every ReportMetric a benchmark emits (hostreads/op,
 // hostbytes/op, ...) lands in the metrics map alongside ns/op, B/op and
 // allocs/op.
+//
+// Compare mode diffs two artifacts instead of running anything:
+//
+//	benchjson -compare old.json new.json
+//	benchjson -compare -metric queries/s -threshold 0.20 old.json new.json
+//
+// It reports the chosen metric for every benchmark present in both files
+// and exits non-zero when any regresses by more than the threshold — the
+// CI gate that keeps the serving layer's throughput honest across commits.
 package main
 
 import (
@@ -47,7 +56,18 @@ func main() {
 	benchtime := flag.String("benchtime", "", "per-benchmark time or count (go test -benchtime)")
 	out := flag.String("out", "", "output path; default BENCH_<date>.json, \"-\" for stdout")
 	pkg := flag.String("pkg", ".", "package to benchmark")
+	compare := flag.Bool("compare", false, "diff two artifacts (old.json new.json) instead of benchmarking")
+	metric := flag.String("metric", "queries/s", "metric to diff in -compare mode (\"ns/op\" or any metrics-map key)")
+	threshold := flag.Float64("threshold", 0.20, "fractional regression that fails -compare mode")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two artifacts: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), *metric, *threshold))
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", *pkg}
 	if *benchtime != "" {
@@ -93,6 +113,90 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(report.Results), path)
+}
+
+// compareReports diffs one metric across two benchmark artifacts and
+// returns the process exit code: 0 when every benchmark present in both
+// stayed within threshold, 1 on a regression or when the files share no
+// benchmark reporting the metric.
+func compareReports(oldPath, newPath, metric string, threshold float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+
+	// Direction: throughput-style rates ("queries/s") regress downward,
+	// cost-style metrics ("ns/op", "B/op", "allocs/op") regress upward.
+	lowerIsBetter := strings.HasSuffix(metric, "/op")
+
+	oldVals := map[string]float64{}
+	for _, r := range oldRep.Results {
+		if v, ok := metricValue(r, metric); ok {
+			oldVals[r.Name] = v
+		}
+	}
+	compared, regressed := 0, 0
+	fmt.Printf("%-52s %14s %14s %8s\n", "benchmark ("+metric+")", oldRep.Date, newRep.Date, "delta")
+	for _, r := range newRep.Results {
+		nv, ok := metricValue(r, metric)
+		if !ok {
+			continue
+		}
+		ov, ok := oldVals[r.Name]
+		if !ok || ov == 0 {
+			continue
+		}
+		compared++
+		delta := nv/ov - 1
+		mark := ""
+		bad := delta < -threshold
+		if lowerIsBetter {
+			bad = delta > threshold
+		}
+		if bad {
+			regressed++
+			mark = "  REGRESSION"
+		}
+		fmt.Printf("%-52s %14.1f %14.1f %+7.1f%%%s\n", r.Name, ov, nv, delta*100, mark)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark in both %s and %s reports %q\n", oldPath, newPath, metric)
+		return 1
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d/%d benchmarks regressed beyond %.0f%% on %s\n", regressed, compared, threshold*100, metric)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% on %s\n", compared, threshold*100, metric)
+	return 0
+}
+
+func loadReport(path string) (Report, error) {
+	var rep Report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// metricValue pulls one metric out of a result; "ns/op" lives in its own
+// field, everything else in the metrics map.
+func metricValue(r Result, metric string) (float64, bool) {
+	if metric == "ns/op" {
+		return r.NsPerOp, r.NsPerOp != 0
+	}
+	v, ok := r.Metrics[metric]
+	return v, ok
 }
 
 // parseBench extracts benchmark lines from go test output. A line looks

@@ -151,15 +151,30 @@ func normalizeEval(o core.Options) core.Options {
 	return o
 }
 
+// NormalizeOptions fills in the unset fields of a partially specified
+// Options. A wholly zero Options means "use the defaults"; a partial one
+// keeps every field the caller set (ShowSymbolic: false stays false) and
+// only defaults the empty Backend and the zero-valued Eval safety limits.
+// NewSession applies it to caller-supplied options; layered callers that
+// pre-normalize a session template (e.g. internal/serve's pooled-session
+// config) use it directly so they default exactly the way a session would,
+// instead of overwriting fields the caller set.
+func NormalizeOptions(o Options) Options {
+	if o == (Options{}) {
+		return DefaultOptions()
+	}
+	if o.Backend == "" {
+		o.Backend = "push"
+	}
+	o.Eval = normalizeEval(o.Eval)
+	return o
+}
+
 // NewSession attaches DUEL to the given debugger.
 func NewSession(d dbgif.Debugger, opts ...Options) (*Session, error) {
 	o := DefaultOptions()
 	if len(opts) > 0 {
-		o = opts[0]
-		if o.Backend == "" {
-			o.Backend = "push"
-		}
-		o.Eval = normalizeEval(o.Eval)
+		o = NormalizeOptions(opts[0])
 	}
 	b, err := core.GetBackend(o.Backend)
 	if err != nil {

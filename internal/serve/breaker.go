@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,18 +60,24 @@ func (s BreakerState) String() string {
 // ErrCircuitOpen instead of tying up a worker on a sick target. After
 // Cooldown the breaker admits exactly one probe; the probe's success closes
 // the breaker, its failure re-opens it for another cooldown.
+//
+// The steady state — breaker closed, queries succeeding — runs lock-free:
+// admit is one atomic load and record one load (plus a store when clearing
+// a failure streak). The mutex only arbitrates state transitions, the
+// probe slot, and the failure/trip bookkeeping on the sick paths, so a
+// healthy hot target costs its readers no shared lock per query.
 type breaker struct {
 	mu  sync.Mutex
 	cfg BreakerConfig
 	now func() time.Time // injectable clock for deterministic tests
 
-	state    BreakerState
-	fails    int       // consecutive infra failures while closed
-	openedAt time.Time // when the breaker last tripped
-	probing  bool      // the half-open probe is in flight
+	state    atomic.Int32 // BreakerState; transitions happen under mu
+	fails    atomic.Int32 // consecutive infra failures while closed
+	openedAt time.Time    // when the breaker last tripped (under mu)
+	probing  bool         // the half-open probe is in flight (under mu)
 
-	trips     int64 // times the breaker opened (including probe failures)
-	fastFails int64 // queries refused while open
+	trips     atomic.Int64 // times the breaker opened (including probe failures)
+	fastFails atomic.Int64 // queries refused while open
 }
 
 func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
@@ -92,26 +99,34 @@ func (b *breaker) disabled() bool { return b.cfg.Threshold < 0 }
 // admit decides whether a query may proceed. probe is true when the query
 // is the half-open probe whose outcome decides recovery; the caller must
 // hand that flag back to record (or cancelProbe if the query never ran).
+//
+// The closed fast path is a single atomic load. A query that loads Closed
+// just as a concurrent trip flips the state proceeds anyway — the same
+// outcome the mutex version produced when its admit serialized ahead of
+// the trip — and record treats its result as a pre-trip straggler.
 func (b *breaker) admit() (probe bool, err error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.disabled() {
 		return false, nil
 	}
-	switch b.state {
-	case BreakerClosed:
+	if BreakerState(b.state.Load()) == BreakerClosed {
+		return false, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch BreakerState(b.state.Load()) {
+	case BreakerClosed: // closed again between the load and the lock
 		return false, nil
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
-			b.fastFails++
+			b.fastFails.Add(1)
 			return false, ErrCircuitOpen
 		}
-		b.state = BreakerHalfOpen
+		b.state.Store(int32(BreakerHalfOpen))
 		b.probing = true
 		return true, nil
 	default: // half-open
 		if b.probing {
-			b.fastFails++
+			b.fastFails.Add(1)
 			return false, ErrCircuitOpen
 		}
 		b.probing = true
@@ -119,40 +134,50 @@ func (b *breaker) admit() (probe bool, err error) {
 	}
 }
 
-// record feeds one admitted query's outcome back.
+// record feeds one admitted query's outcome back. A success while closed —
+// the overwhelmingly common case — stays lock-free; everything that can
+// change state takes the mutex.
 func (b *breaker) record(probe, infraFail bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.disabled() {
 		return
 	}
-	if probe {
-		b.probing = false
-		if infraFail {
-			b.state = BreakerOpen
-			b.openedAt = b.now()
-			b.trips++
-		} else {
-			b.state = BreakerClosed
-			b.fails = 0
+	if !probe && !infraFail && BreakerState(b.state.Load()) == BreakerClosed {
+		// Clearing a concurrent failure's count here instead of after it
+		// is the same arbitrary interleaving the mutex imposed; the
+		// consecutive-failure streak is a heuristic, not a ledger.
+		if b.fails.Load() != 0 {
+			b.fails.Store(0)
 		}
 		return
 	}
-	if b.state != BreakerClosed {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if infraFail {
+			b.state.Store(int32(BreakerOpen))
+			b.openedAt = b.now()
+			b.trips.Add(1)
+		} else {
+			b.state.Store(int32(BreakerClosed))
+			b.fails.Store(0)
+		}
+		return
+	}
+	if BreakerState(b.state.Load()) != BreakerClosed {
 		// A pre-trip straggler completing after the breaker opened; its
 		// outcome says nothing the trip didn't.
 		return
 	}
 	if !infraFail {
-		b.fails = 0
+		b.fails.Store(0)
 		return
 	}
-	b.fails++
-	if b.fails >= b.cfg.Threshold {
-		b.state = BreakerOpen
+	if b.fails.Add(1) >= int32(b.cfg.Threshold) {
+		b.state.Store(int32(BreakerOpen))
 		b.openedAt = b.now()
-		b.fails = 0
-		b.trips++
+		b.fails.Store(0)
+		b.trips.Add(1)
 	}
 }
 
@@ -167,7 +192,5 @@ func (b *breaker) cancelProbe() {
 
 // snapshot returns the state and counters for stats reporting.
 func (b *breaker) snapshot() (state BreakerState, trips, fastFails int64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.state, b.trips, b.fastFails
+	return BreakerState(b.state.Load()), b.trips.Load(), b.fastFails.Load()
 }

@@ -36,8 +36,24 @@
 // of its own, so the server classifies each query by AST walk: queries that
 // only read target memory share the target under a read lock, while
 // mutating queries (assignments, ++/--, target calls, declarations, interned
-// string literals) get it exclusively, and every pooled accessor is flushed
-// before the write lock drops so no session serves stale bytes.
+// string literals) get it exclusively.
+//
+// The read path is built to scale with the worker count. DUEL traffic is
+// read-dominated — "x[..n] >? v" walks memory without writing it — so
+// everything a read-only query touches per-query is either worker-local or
+// lock-free:
+//
+//   - Counters are atomic (no stats mutex on the hot path).
+//   - Each worker keeps session affinity with the last target it served, so
+//     a steady stream against one target never touches the pool mutex.
+//   - Post-write cache invalidation is epoch-based: a mutating query bumps
+//     the target's write epoch and each session lazily flushes its own page
+//     cache the next time it observes a new epoch, instead of the writer
+//     walking and flushing every pooled accessor while readers wait.
+//   - The breaker's closed-state admit/record path is atomic.
+//   - Jobs (and their one-shot done channels) are recycled through a
+//     sync.Pool, so the submit→worker→submit round-trip is two direct
+//     channel handoffs with no per-query allocation of its own.
 package serve
 
 import (
@@ -48,6 +64,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"duel"
@@ -90,7 +107,9 @@ type Config struct {
 	// ErrOverloaded.
 	QueueDepth int
 	// Session is the option template for pooled sessions. A zero value
-	// means duel.DefaultOptions; zero MaxSteps/Timeout get the serving
+	// means duel.DefaultOptions; a partially set value keeps every field
+	// the caller set and only has its unset fields defaulted (exactly
+	// like duel.NewSession); zero MaxSteps/Timeout get the serving
 	// defaults either way, so serve sessions are always bounded.
 	Session duel.Options
 	// Breaker tunes the per-target circuit breakers.
@@ -101,7 +120,8 @@ type Config struct {
 }
 
 // Stats is a snapshot of a Server's admission and outcome counters.
-// Breaker counters aggregate over all registered targets.
+// Breaker counters aggregate over all registered targets. Snapshots are
+// internally consistent: Completed never exceeds Admitted.
 type Stats struct {
 	Admitted  int64 // queries accepted into the queue
 	Completed int64 // admitted queries that ran to completion (ok or error)
@@ -110,6 +130,17 @@ type Stats struct {
 	Drained   int64 // refused with ErrDraining, or canceled while queued
 	FastFails int64 // refused with ErrCircuitOpen
 	Trips     int64 // breaker trips
+}
+
+// liveStats is the server's hot counter set. Plain atomics instead of a
+// mutex-guarded struct: the two bumps per query (admit, complete) were the
+// first serializer the mutex profile named on the read path.
+type liveStats struct {
+	admitted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	shed      atomic.Int64
+	drained   atomic.Int64
 }
 
 type serverState int
@@ -146,8 +177,7 @@ type Server struct {
 
 	outMu sync.Mutex // serializes Exec flushes to shared io.Writers
 
-	statsMu sync.Mutex
-	stats   Stats
+	stats liveStats
 }
 
 // targetState is one registered target: its session pool, breaker, and the
@@ -161,12 +191,50 @@ type targetState struct {
 	// exclusively (the substrate below the sessions is unsynchronized).
 	rw sync.RWMutex
 
+	// epoch counts mutating queries. A mutating query bumps it while it
+	// still holds the write lock; every session records the epoch its page
+	// cache was last valid at and flushes itself lazily when the two
+	// disagree (see pooledSession.sync). This replaces the old write-side
+	// flushAll walk over every pooled accessor, which both stretched the
+	// exclusive section and made registration-order state (the "all" list)
+	// part of the hot path.
+	epoch atomic.Uint64
+
 	poolMu sync.Mutex
-	idle   []*duel.Session
-	all    []*duel.Session // every session ever created, for post-write flushes
+	idle   []*pooledSession
 }
 
-// job is one admitted query.
+// pooledSession is one pooled session plus the target write epoch its page
+// cache last observed. Exactly one query uses a pooledSession at a time
+// (it is either in the idle pool, held as a worker's affinity session, or
+// running), so epoch needs no synchronization of its own.
+type pooledSession struct {
+	ses   *duel.Session
+	epoch uint64
+}
+
+// sync brings the session's page cache up to the target's current write
+// epoch. Called with the target's lock held (shared or exclusive), so the
+// epoch cannot advance concurrently.
+func (ps *pooledSession) sync(t *targetState) {
+	if e := t.epoch.Load(); ps.epoch != e {
+		ps.ses.Mem().Flush()
+		ps.epoch = e
+	}
+}
+
+// affinity is a worker's cached (target, session) pair: the session it used
+// most recently, kept out of the shared pool so a steady stream of queries
+// against one target runs entirely worker-locally. Only the owning worker
+// goroutine touches it.
+type affinity struct {
+	t  *targetState
+	ps *pooledSession
+}
+
+// job is one admitted query. Jobs are recycled through jobPool; the done
+// channel is created once per job object and reused (it is always drained
+// by exactly one submitter before the job is returned to the pool).
 type job struct {
 	ctx   context.Context
 	t     *targetState
@@ -174,6 +242,14 @@ type job struct {
 	emit  func(duel.Result) error
 	probe bool // this query is its target's half-open breaker probe
 	done  chan error
+}
+
+var jobPool = sync.Pool{New: func() any { return &job{done: make(chan error, 1)} }}
+
+// putJob clears the job's references and returns it to the pool.
+func putJob(j *job) {
+	j.ctx, j.t, j.src, j.emit, j.probe = nil, nil, "", nil, false
+	jobPool.Put(j)
 }
 
 // New starts a server with cfg's worker pool running. It performs no I/O;
@@ -185,9 +261,11 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueFactor * cfg.Workers
 	}
-	if cfg.Session.Backend == "" {
-		cfg.Session = duel.DefaultOptions()
-	}
+	// Normalize field-by-field (a wholly zero Session means the defaults;
+	// a partial one keeps every field the caller set) — overwriting the
+	// whole struct here used to wipe caller-set fields like MaxOutput
+	// whenever Backend was left empty.
+	cfg.Session = duel.NormalizeOptions(cfg.Session)
 	if cfg.Session.Eval.MaxSteps == 0 {
 		cfg.Session.Eval.MaxSteps = DefaultMaxSteps
 	}
@@ -254,11 +332,18 @@ func (s *Server) BreakerState(name string) (BreakerState, error) {
 	return st, nil
 }
 
-// Stats snapshots the server's counters.
+// Stats snapshots the server's counters. The snapshot always satisfies
+// Completed <= Admitted: every query increments Admitted strictly before it
+// can be picked up by a worker, and the loads below read Completed before
+// Admitted, so a query that races the snapshot can inflate Admitted but
+// never Completed. (The other counters are independent tallies.)
 func (s *Server) Stats() Stats {
-	s.statsMu.Lock()
-	st := s.stats
-	s.statsMu.Unlock()
+	var st Stats
+	st.Completed = s.stats.completed.Load()
+	st.Failed = s.stats.failed.Load()
+	st.Shed = s.stats.shed.Load()
+	st.Drained = s.stats.drained.Load()
+	st.Admitted = s.stats.admitted.Load()
 	s.targetMu.RLock()
 	for _, t := range s.targets {
 		_, trips, fastFails := t.brk.snapshot()
@@ -267,12 +352,6 @@ func (s *Server) Stats() Stats {
 	}
 	s.targetMu.RUnlock()
 	return st
-}
-
-func (s *Server) bump(f func(*Stats)) {
-	s.statsMu.Lock()
-	f(&s.stats)
-	s.statsMu.Unlock()
 }
 
 // Eval evaluates src against the named target, collecting all produced
@@ -341,7 +420,7 @@ func (s *Server) submit(ctx context.Context, target, src string, emit func(duel.
 	s.admitMu.RLock()
 	if s.state != stateServing {
 		s.admitMu.RUnlock()
-		s.bump(func(st *Stats) { st.Drained++ })
+		s.stats.drained.Add(1)
 		return ErrDraining
 	}
 	probe, err := t.brk.admit()
@@ -349,38 +428,56 @@ func (s *Server) submit(ctx context.Context, target, src string, emit func(duel.
 		s.admitMu.RUnlock()
 		return fmt.Errorf("target %q: %w", target, err)
 	}
-	j := &job{ctx: ctx, t: t, src: src, emit: emit, probe: probe, done: make(chan error, 1)}
+	j := jobPool.Get().(*job)
+	j.ctx, j.t, j.src, j.emit, j.probe = ctx, t, src, emit, probe
+	// Count the admission before the enqueue: once the job is in the
+	// queue a worker can complete it at any moment, and a Stats snapshot
+	// taken in that window used to show Completed > Admitted. A query
+	// that turns out to be shed rolls its increment back below.
+	s.stats.admitted.Add(1)
 	select {
 	case s.queue <- j:
 		s.admitMu.RUnlock()
 	default:
 		s.admitMu.RUnlock()
+		s.stats.admitted.Add(-1)
+		putJob(j)
 		if probe {
 			t.brk.cancelProbe()
 		}
-		s.bump(func(st *Stats) { st.Shed++ })
+		s.stats.shed.Add(1)
 		return ErrOverloaded
 	}
-	s.bump(func(st *Stats) { st.Admitted++ })
 
 	// Always wait for the worker: the evaluation itself is revocable
 	// through ctx, so this wait is bounded by the caller's own deadline,
 	// and never returning early keeps emit's writes race-free.
-	return <-j.done
+	err = <-j.done
+	putJob(j)
+	return err
 }
 
 // worker pulls jobs until drain, then finishes whatever is still queued.
+// Across jobs it keeps affinity with the last target it served: the session
+// stays out of the shared pool, so the common many-queries-one-target
+// stream never touches poolMu after warmup.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	var aff affinity
+	defer func() {
+		if aff.ps != nil {
+			aff.t.put(aff.ps)
+		}
+	}()
 	for {
 		select {
 		case j := <-s.queue:
-			j.done <- s.run(j)
+			j.done <- s.run(j, &aff)
 		case <-s.drainCh:
 			for {
 				select {
 				case j := <-s.queue:
-					j.done <- s.run(j)
+					j.done <- s.run(j, &aff)
 				default:
 					return
 				}
@@ -389,14 +486,35 @@ func (s *Server) worker() {
 	}
 }
 
+// acquire hands the worker a session for j's target: its affinity session
+// when the target matches, a pooled (or fresh) one otherwise — releasing
+// the old affinity session back to its own target's pool first.
+func (s *Server) acquire(j *job, aff *affinity) (*pooledSession, error) {
+	if aff.ps != nil && aff.t == j.t {
+		ps := aff.ps
+		aff.ps = nil
+		return ps, nil
+	}
+	if aff.ps != nil {
+		aff.t.put(aff.ps)
+		aff.ps = nil
+	}
+	return j.t.get()
+}
+
+// retain parks the session as the worker's affinity session for j's target.
+func retain(j *job, aff *affinity, ps *pooledSession) {
+	aff.t, aff.ps = j.t, ps
+}
+
 // run executes one admitted query on the calling worker.
-func (s *Server) run(j *job) error {
+func (s *Server) run(j *job, aff *affinity) error {
 	if err := context.Cause(j.ctx); err != nil {
 		// The caller gave up while the query was queued.
 		if j.probe {
 			j.t.brk.cancelProbe()
 		}
-		s.bump(func(st *Stats) { st.Drained++ })
+		s.stats.drained.Add(1)
 		return &core.CanceledError{Cause: err}
 	}
 	if s.hardCtx.Err() != nil {
@@ -404,18 +522,20 @@ func (s *Server) run(j *job) error {
 		if j.probe {
 			j.t.brk.cancelProbe()
 		}
-		s.bump(func(st *Stats) { st.Drained++ })
+		s.stats.drained.Add(1)
 		return ErrDraining
 	}
 
-	ses, err := j.t.session()
+	ps, err := s.acquire(j, aff)
 	if err != nil {
 		if j.probe {
 			j.t.brk.cancelProbe()
 		}
-		s.bump(func(st *Stats) { st.Completed++; st.Failed++ })
+		s.stats.completed.Add(1)
+		s.stats.failed.Add(1)
 		return err
 	}
+	ses := ps.ses
 	n, perr := ses.ParseCached(j.src)
 	if perr != nil {
 		// A parse error never reached the target; it says nothing about
@@ -423,8 +543,9 @@ func (s *Server) run(j *job) error {
 		if j.probe {
 			j.t.brk.cancelProbe()
 		}
-		j.t.release(ses, false)
-		s.bump(func(st *Stats) { st.Completed++; st.Failed++ })
+		retain(j, aff, ps)
+		s.stats.completed.Add(1)
+		s.stats.failed.Add(1)
 		return perr
 	}
 
@@ -432,18 +553,22 @@ func (s *Server) run(j *job) error {
 	ctx, cancel := context.WithCancel(j.ctx)
 	stop := context.AfterFunc(s.hardCtx, cancel)
 
-	mutating := MutatesTarget(n)
+	mutating := MutatesTargetFor(n, ses.D)
 	if mutating {
 		j.t.rw.Lock()
 	} else {
 		j.t.rw.RLock()
 	}
+	// Under the lock the write epoch is stable; catch this session's page
+	// cache up to it before touching memory.
+	ps.sync(j.t)
 	err = ses.EvalNodeContext(ctx, n, j.emit)
 	if mutating {
-		// Every pooled session has its own accessor over the shared
-		// substrate; drop their cached/prefetched pages before readers
-		// come back so none serves pre-write bytes.
-		j.t.flushAll()
+		// Publish the mutation: sessions whose accessors may hold
+		// pre-write bytes flush themselves when they next observe the new
+		// epoch. This session's own accessor invalidated as it wrote, so
+		// it is already current.
+		ps.epoch = j.t.epoch.Add(1)
 		j.t.rw.Unlock()
 	} else {
 		j.t.rw.RUnlock()
@@ -452,13 +577,21 @@ func (s *Server) run(j *job) error {
 	cancel()
 
 	j.t.brk.record(j.probe, infraFailure(err))
-	j.t.release(ses, Pollutes(n))
-	s.bump(func(st *Stats) {
-		st.Completed++
-		if err != nil {
-			st.Failed++
-		}
-	})
+	if Pollutes(n) {
+		// The query grew session-local state (aliases, DUEL declarations,
+		// interned strings); wipe it so pooled sessions stay
+		// interchangeable — a follow-up query must not see another
+		// caller's x := alias.
+		ses.ClearAliases()
+	}
+	retain(j, aff, ps)
+	s.stats.completed.Add(1)
+	// Output truncation is a clean completion, not a failure: the emit
+	// callback stops the evaluation early on purpose and the caller gets
+	// a nil error.
+	if err != nil && !errors.Is(err, errTruncated) {
+		s.stats.failed.Add(1)
+	}
 	return err
 }
 
@@ -497,55 +630,48 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// session pops an idle pooled session or builds a fresh one.
-func (t *targetState) session() (*duel.Session, error) {
+// get pops an idle pooled session or builds a fresh one. A fresh session's
+// accessor holds no pages, so any epoch labels it correctly.
+func (t *targetState) get() (*pooledSession, error) {
 	t.poolMu.Lock()
 	if n := len(t.idle); n > 0 {
-		ses := t.idle[n-1]
+		ps := t.idle[n-1]
 		t.idle = t.idle[:n-1]
 		t.poolMu.Unlock()
-		return ses, nil
+		return ps, nil
 	}
 	t.poolMu.Unlock()
 	ses, err := t.factory()
 	if err != nil {
 		return nil, err
 	}
-	t.poolMu.Lock()
-	t.all = append(t.all, ses)
-	t.poolMu.Unlock()
-	return ses, nil
+	return &pooledSession{ses: ses, epoch: t.epoch.Load()}, nil
 }
 
-// release returns a session to the pool. polluted marks a query that grew
-// session-local state (aliases, DUEL declarations, interned strings); such
-// sessions are wiped so every pooled session stays interchangeable — a
-// follow-up query must not see another caller's x := alias.
-func (t *targetState) release(ses *duel.Session, polluted bool) {
-	if polluted {
-		ses.ClearAliases()
-	}
+// put returns a session to the pool.
+func (t *targetState) put(ps *pooledSession) {
 	t.poolMu.Lock()
-	t.idle = append(t.idle, ses)
+	t.idle = append(t.idle, ps)
 	t.poolMu.Unlock()
-}
-
-// flushAll drops every session accessor's resident pages. Called with the
-// target write lock held, after a mutating query.
-func (t *targetState) flushAll() {
-	t.poolMu.Lock()
-	all := t.all
-	t.poolMu.Unlock()
-	for _, ses := range all {
-		ses.Mem().Flush()
-	}
 }
 
 // MutatesTarget reports whether the tree can write target memory or run
 // target code: assignments, increments/decrements, target calls,
 // declarations and interned string literals (both allocate target space).
 // Alias definitions (x := e) are session-local state, not target writes.
-func MutatesTarget(n *ast.Node) bool {
+// Every call counts as mutating here; MutatesTargetFor narrows builtin
+// calls when a debugger is available to resolve names against.
+func MutatesTarget(n *ast.Node) bool { return mutatesTarget(n, nil) }
+
+// MutatesTargetFor is MutatesTarget with the target's symbol table in hand:
+// calls to the evaluator's read-only builtins — frames(), and frame(i) with
+// non-mutating arguments — are recognized (exactly when the target does not
+// shadow the name with its own variable, mirroring Env.evalCall) and no
+// longer force the exclusive target lock. The serving layer classifies with
+// this form so plain read queries never serialize writers-style.
+func MutatesTargetFor(n *ast.Node, d dbgif.Debugger) bool { return mutatesTarget(n, d) }
+
+func mutatesTarget(n *ast.Node, d dbgif.Debugger) bool {
 	if n == nil {
 		return false
 	}
@@ -554,13 +680,45 @@ func MutatesTarget(n *ast.Node) bool {
 		ast.OpDivAssign, ast.OpModAssign, ast.OpAndAssign, ast.OpOrAssign,
 		ast.OpXorAssign, ast.OpShlAssign, ast.OpShrAssign,
 		ast.OpPreInc, ast.OpPreDec, ast.OpPostInc, ast.OpPostDec,
-		ast.OpCall, ast.OpDecl, ast.OpStr:
+		ast.OpDecl, ast.OpStr:
 		return true
-	}
-	for _, k := range n.Kids {
-		if MutatesTarget(k) {
+	case ast.OpCall:
+		if !isReadOnlyBuiltinCall(n, d) {
 			return true
 		}
+		// A builtin call reads debugger state only; its arguments can
+		// still mutate (frame(x[0]++)).
+		for _, k := range n.Kids[1:] {
+			if mutatesTarget(k, d) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, k := range n.Kids {
+		if mutatesTarget(k, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// isReadOnlyBuiltinCall reports whether n is a call that the evaluator
+// resolves to a read-only builtin rather than target code: frame(i) and
+// frames(), unless the target defines a variable of the same name (the
+// evaluator gives the target's own symbols precedence; see Env.evalCall).
+func isReadOnlyBuiltinCall(n *ast.Node, d dbgif.Debugger) bool {
+	if d == nil || len(n.Kids) == 0 {
+		return false
+	}
+	callee := n.Kids[0]
+	if callee.Op != ast.OpName {
+		return false
+	}
+	switch callee.Name {
+	case "frame", "frames":
+		_, shadowed := d.GetTargetVariable(callee.Name)
+		return !shadowed
 	}
 	return false
 }

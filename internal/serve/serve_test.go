@@ -180,6 +180,8 @@ func TestServerDifferentialParity(t *testing.T) {
 		// The sequential pass mutated both fixtures identically; now blast
 		// the queries that neither write the target nor leave session
 		// state, all goroutines sharing the one target under read locks.
+		// Classification uses the server's own narrowed, debugger-aware
+		// walk, so builtin calls like frames() ride in the read-only set.
 		var readOnly []string
 		expect := make(map[string]string)
 		ses := duel.MustNewSession(ref)
@@ -188,7 +190,7 @@ func TestServerDifferentialParity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("parse %q: %v", src, err)
 			}
-			if MutatesTarget(n) || Pollutes(n) {
+			if MutatesTargetFor(n, ref) || Pollutes(n) {
 				continue
 			}
 			readOnly = append(readOnly, src)
@@ -198,9 +200,41 @@ func TestServerDifferentialParity(t *testing.T) {
 		if len(readOnly) < 20 {
 			t.Fatalf("read-only subset suspiciously small: %d queries", len(readOnly))
 		}
+		var hasFrames bool
+		for _, src := range readOnly {
+			hasFrames = hasFrames || src == "frames()"
+		}
+		if !hasFrames {
+			t.Error("frames() missing from the read-only subset: builtin-call narrowing regressed")
+		}
+
+		// A stats poller races snapshots against the blast: every snapshot
+		// must be internally consistent (a completed query was admitted
+		// first) — the admission-ordering regression showed up exactly
+		// here, as transient Completed > Admitted.
+		errCh := make(chan string, 64)
+		pollDone := make(chan struct{})
+		var pollWg sync.WaitGroup
+		pollWg.Add(1)
+		go func() {
+			defer pollWg.Done()
+			for {
+				select {
+				case <-pollDone:
+					return
+				default:
+				}
+				st := srv.Stats()
+				if st.Completed > st.Admitted {
+					select {
+					case errCh <- fmt.Sprintf("inconsistent stats snapshot: Completed %d > Admitted %d", st.Completed, st.Admitted):
+					default:
+					}
+				}
+			}
+		}()
 
 		var wg sync.WaitGroup
-		errCh := make(chan string, 64)
 		for g := 0; g < 8; g++ {
 			wg.Add(1)
 			go func(g int) {
@@ -220,6 +254,8 @@ func TestServerDifferentialParity(t *testing.T) {
 			}(g)
 		}
 		wg.Wait()
+		close(pollDone)
+		pollWg.Wait()
 		close(errCh)
 		for msg := range errCh {
 			t.Error(msg)
@@ -390,8 +426,8 @@ func TestBreakerReopensOnFailedProbe(t *testing.T) {
 	b := newBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Second}, clk.now)
 	b.record(false, true)
 	b.record(false, true)
-	if b.state != BreakerOpen {
-		t.Fatalf("state after threshold = %v, want open", b.state)
+	if st, _, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", st)
 	}
 	if _, err := b.admit(); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("admit while open: %v", err)
@@ -406,8 +442,8 @@ func TestBreakerReopensOnFailedProbe(t *testing.T) {
 		t.Fatalf("admit during probe: %v", err)
 	}
 	b.record(true, true) // the probe fails
-	if b.state != BreakerOpen {
-		t.Fatalf("state after failed probe = %v, want open", b.state)
+	if st, _, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
 	}
 	if _, err := b.admit(); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("admit inside second cooldown: %v", err)
@@ -418,11 +454,11 @@ func TestBreakerReopensOnFailedProbe(t *testing.T) {
 		t.Fatalf("second probe admit: probe=%v err=%v", probe, err)
 	}
 	b.record(true, false)
-	if b.state != BreakerClosed {
-		t.Fatalf("state after successful probe = %v, want closed", b.state)
+	if st, _, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
 	}
-	if b.trips != 2 {
-		t.Errorf("trips = %d, want 2", b.trips)
+	if _, trips, _ := b.snapshot(); trips != 2 {
+		t.Errorf("trips = %d, want 2", trips)
 	}
 }
 
@@ -705,6 +741,241 @@ func TestParseErrorDoesNotTripBreaker(t *testing.T) {
 	}
 	if _, err := srv.Eval(ctx, "t", "x[0]"); err != nil {
 		t.Fatalf("well-formed query failed: %v", err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialSessionOptionsPreserved: serve.New must normalize a partially
+// specified session template field-by-field, exactly like duel.NewSession.
+// It used to overwrite the whole struct with DefaultOptions whenever
+// Backend was left empty, silently discarding caller-set fields such as
+// MaxOutput.
+func TestPartialSessionOptionsPreserved(t *testing.T) {
+	srv := New(Config{Workers: 1, Session: duel.Options{MaxOutput: 2, ShowSymbolic: true}})
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	got := srv.cfg.Session
+	if got.MaxOutput != 2 {
+		t.Errorf("MaxOutput = %d, want 2 (caller-set field clobbered)", got.MaxOutput)
+	}
+	if got.Backend != "push" {
+		t.Errorf("Backend = %q, want the push default", got.Backend)
+	}
+	if !got.ShowSymbolic {
+		t.Error("ShowSymbolic = false, want the caller's true")
+	}
+	if got.Eval.MaxSteps != DefaultMaxSteps || got.Eval.Timeout != DefaultTimeout {
+		t.Errorf("serving safety limits not applied: MaxSteps=%d Timeout=%v", got.Eval.MaxSteps, got.Eval.Timeout)
+	}
+	if got.Eval.MaxOpenRange == 0 {
+		t.Error("Eval limits not normalized: MaxOpenRange still 0")
+	}
+
+	// A wholly zero template still means the defaults.
+	srvZero := New(Config{Workers: 1})
+	defer func() {
+		if err := srvZero.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if z := srvZero.cfg.Session; z.Backend != "push" || !z.ShowSymbolic {
+		t.Errorf("zero Session template = %+v, want DefaultOptions semantics", z)
+	}
+}
+
+// TestTruncationIsCleanCompletion: a query whose output Exec truncates at
+// MaxOutput returns nil AND counts as a clean completion — the truncation
+// sentinel stops the evaluation on purpose and used to leak into the
+// failure counter.
+func TestTruncationIsCleanCompletion(t *testing.T) {
+	f := buildDebuggee(t)
+	srv := New(Config{Workers: 1, Session: duel.Options{MaxOutput: 2, ShowSymbolic: true}})
+	srv.Register("t", f)
+	var buf bytes.Buffer
+	if err := srv.Exec(context.Background(), "t", &buf, "x[..10]"); err != nil {
+		t.Fatalf("truncated Exec returned %v, want nil", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "... (output truncated at 2 lines)") {
+		t.Fatalf("missing truncation marker in %q", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Fatalf("want 2 value lines + marker, got %d lines:\n%s", lines, out)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Completed != 1 || st.Admitted != 1 {
+		t.Errorf("Completed/Admitted = %d/%d, want 1/1", st.Completed, st.Admitted)
+	}
+	if st.Failed != 0 {
+		t.Errorf("Failed = %d, want 0: truncation counted as a failure", st.Failed)
+	}
+}
+
+// TestStatsSnapshotConsistency hammers the admission path while a poller
+// takes snapshots: no snapshot may show Completed > Admitted. Before the
+// ordering fix, Admitted was bumped after the enqueue (and after the
+// admission lock dropped), so a fast worker could complete the query first.
+func TestStatsSnapshotConsistency(t *testing.T) {
+	f := buildDebuggee(t)
+	srv := New(Config{Workers: 2})
+	srv.Register("t", f)
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	bad := make(chan string, 1)
+	var pollWg sync.WaitGroup
+	pollWg.Add(1)
+	go func() {
+		defer pollWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st := srv.Stats(); st.Completed > st.Admitted {
+				select {
+				case bad <- fmt.Sprintf("Completed %d > Admitted %d", st.Completed, st.Admitted):
+				default:
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := srv.Eval(ctx, "t", "x[0]"); err != nil {
+					t.Errorf("eval: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	pollWg.Wait()
+	select {
+	case msg := <-bad:
+		t.Error(msg)
+	default:
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Admitted != 200 || st.Completed != 200 || st.Failed != 0 {
+		t.Errorf("final stats %+v, want 200 admitted = completed, 0 failed", st)
+	}
+}
+
+// TestMutatesTargetNarrowing pins the classification both ways: the
+// conservative AST-only walk still flags every call, while the
+// debugger-aware walk admits the evaluator's read-only builtins to the
+// shared read lock — unless the target shadows the name, or a builtin's
+// argument itself mutates.
+func TestMutatesTargetNarrowing(t *testing.T) {
+	f := buildDebuggee(t)
+	ses := duel.MustNewSession(f)
+	cases := []struct {
+		src       string
+		ast, with bool // MutatesTarget / MutatesTargetFor(f)
+	}{
+		{"x[0]", false, false},
+		{"x[0] = 1", true, true},
+		{"frames()", true, false},
+		{"frame(0)", true, false},
+		{"frame(x[0]++)", true, true},
+		{"twice(1)", true, true},     // target-defined function: real call
+		{"x[frames()]", true, false}, // builtin call in a subexpression
+		{"\"abc\"[1]", true, true},   // string literal interns target space
+	}
+	for _, tc := range cases {
+		n, err := ses.Parse(tc.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.src, err)
+		}
+		if got := MutatesTarget(n); got != tc.ast {
+			t.Errorf("MutatesTarget(%q) = %v, want %v", tc.src, got, tc.ast)
+		}
+		if got := MutatesTargetFor(n, f); got != tc.with {
+			t.Errorf("MutatesTargetFor(%q) = %v, want %v", tc.src, got, tc.with)
+		}
+	}
+
+	// A target that shadows "frames" with its own variable keeps the
+	// conservative classification: the evaluator would resolve the name
+	// to the target symbol, not the builtin.
+	shadow := fakedbg.New(ctype.ILP32, 1<<16)
+	shadow.MustVar("frames", shadow.A.Int)
+	shadowSes := duel.MustNewSession(shadow)
+	n, err := shadowSes.Parse("frames()")
+	if err != nil {
+		t.Fatalf("parse shadowed frames(): %v", err)
+	}
+	if !MutatesTargetFor(n, shadow) {
+		t.Error("MutatesTargetFor(frames()) = false with a shadowing target variable, want true")
+	}
+}
+
+// TestEpochFlushCoherence: with the page cache ON, a mutating query must
+// invalidate what every pooled session has cached — lazily, via the write
+// epoch — so concurrent readers never serve pre-write bytes. Several
+// write→read rounds through a multi-worker server, with reads fanned wide
+// enough that many distinct pooled sessions (with warm caches) answer.
+func TestEpochFlushCoherence(t *testing.T) {
+	f := buildDebuggee(t)
+	opts := duel.DefaultOptions()
+	opts.Eval.MemCache = true
+	srv := New(Config{Workers: 4, QueueDepth: 32, Session: opts})
+	srv.Register("t", f)
+	ctx := context.Background()
+
+	for round := 1; round <= 5; round++ {
+		// Warm many sessions' caches on the current value.
+		var warm sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			warm.Add(1)
+			go func() {
+				defer warm.Done()
+				if _, err := srv.Eval(ctx, "t", "x[0]"); err != nil {
+					t.Errorf("warm read: %v", err)
+				}
+			}()
+		}
+		warm.Wait()
+
+		want := fmt.Sprintf("%d", 100+round)
+		if _, err := srv.Eval(ctx, "t", fmt.Sprintf("x[0] = %s", want)); err != nil {
+			t.Fatalf("round %d write: %v", round, err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				res, err := srv.Eval(ctx, "t", "x[0]")
+				if err != nil {
+					t.Errorf("round %d read: %v", round, err)
+					return
+				}
+				if len(res) != 1 || res[0].Text != want {
+					t.Errorf("round %d reader %d: got %+v, want x[0] = %s (stale page served)", round, g, res, want)
+				}
+			}(g)
+		}
+		wg.Wait()
 	}
 	if err := srv.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,7 @@
+//go:build race
+
+package duel_test
+
+// raceEnabled reports whether the race detector is compiled in; scaling
+// measurements skip under it (see TestServeReadScaling).
+const raceEnabled = true
