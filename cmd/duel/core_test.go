@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixturePaths(t *testing.T) (string, string) {
+	t.Helper()
+	exe := filepath.Join("..", "..", "internal", "coredbg", "testdata", "fixture")
+	core := filepath.Join("..", "..", "internal", "coredbg", "testdata", "fixture.core")
+	for _, p := range []string{exe, core} {
+		if _, err := os.Stat(p); err != nil {
+			t.Skipf("fixture %s missing; run internal/coredbg/testdata/gen.sh", p)
+		}
+	}
+	return exe, core
+}
+
+// TestCoreOneShot drives the post-mortem mode end to end: a real DUEL query
+// against a real core dump, one-shot.
+func TestCoreOneShot(t *testing.T) {
+	exe, core := fixturePaths(t)
+	var out bytes.Buffer
+	if err := runCore(exe, core, "head-->next->value", "push", strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	want := "head->value = 2\n" +
+		"head->next->value = 7\n" +
+		"head->next->next->value = 1\n" +
+		"head-->next[[3]]->value = 7\n" +
+		"head-->next[[4]]->value = 8\n"
+	if out.String() != want {
+		t.Errorf("transcript:\n got:\n%s\n want:\n%s", out.String(), want)
+	}
+}
+
+// TestCoreTranscript drives the interactive loop: backtrace, frame locals,
+// a generator query, and a contained write fault, in one session.
+func TestCoreTranscript(t *testing.T) {
+	exe, core := fixturePaths(t)
+	input := strings.Join([]string{
+		"bt",
+		"depth",
+		"duel frame(2).depth", // gdb-style prefix accepted
+		"x[..10] >? 4",
+		"g = 1",
+		"quit",
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	if err := runCore(exe, core, "", "push", strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		", 5 frames\n",
+		"#0  crash\n",
+		"#4  run\n",
+		"depth = 0\n",
+		"frame(2).depth = 2\n",
+		"x[4] = 5\n",
+		"x[5] = 9\n",
+		"g = <read-only target>\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("transcript missing %q:\n%s", want, got)
+		}
+	}
+}

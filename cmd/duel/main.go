@@ -13,9 +13,16 @@
 //	(mdb) duel x[..100] >? 0
 //	x[3] = 7
 //	x[18] = 9
+//
+// Post-mortem mode attaches DUEL to a real core dump (read-only — writes,
+// declarations and calls fail with a typed error):
+//
+//	duel core ./prog ./core                     # interactive (duel) prompt
+//	duel -e 'head-->next->val' core ./prog ./core
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +30,7 @@ import (
 	"strings"
 
 	"duel"
+	"duel/internal/coredbg"
 	"duel/internal/debugger"
 	"duel/internal/scenarios"
 	"duel/internal/target"
@@ -47,6 +55,22 @@ func run() error {
 
 	cfg := target.DefaultConfig
 	cfg.DataSize = *dataMB << 20
+
+	// Post-mortem mode: attach to an ELF core dump.
+	if flag.NArg() > 0 && flag.Arg(0) == "core" {
+		if flag.NArg() != 3 {
+			return fmt.Errorf("usage: duel [-e expr] [-backend b] core <executable> <corefile>")
+		}
+		input := io.Reader(os.Stdin)
+		if *script != "" {
+			b, err := os.ReadFile(*script)
+			if err != nil {
+				return err
+			}
+			input = io.MultiReader(strings.NewReader(string(b)), os.Stdin)
+		}
+		return runCore(flag.Arg(1), flag.Arg(2), *expr, *backend, input, os.Stdout)
+	}
 
 	// One-shot expression mode against a scenario image.
 	if *expr != "" {
@@ -110,4 +134,59 @@ func run() error {
 		}
 	}
 	return r.Loop()
+}
+
+// runCore attaches a DUEL session to a core dump. The substrate is
+// read-only, so the session runs with per-element error containment on:
+// a query that touches a torn part of the photograph diagnoses that element
+// ("<read-only target>", "unmapped address ...") and keeps enumerating,
+// which is the behavior wanted post mortem.
+func runCore(exe, corePath, expr, backend string, input io.Reader, out io.Writer) error {
+	c, err := coredbg.Open(exe, corePath)
+	if err != nil {
+		return err
+	}
+	opts := duel.DefaultOptions()
+	opts.Backend = backend
+	opts.Eval.ErrorValues = true
+	opts.Debugger = c // exercised on purpose: sessions can attach via Options
+	ses, err := duel.NewSession(nil, opts)
+	if err != nil {
+		return err
+	}
+	if expr != "" {
+		return ses.Exec(out, expr)
+	}
+
+	fmt.Fprintf(out, "duel: post-mortem on %s (core %s), %d frames\n", exe, corePath, c.NumFrames())
+	printBacktrace(c, out)
+	sc := bufio.NewScanner(input)
+	for {
+		fmt.Fprint(out, "(duel) ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		line = strings.TrimSpace(strings.TrimPrefix(line, "duel ")) // gdb-style "duel <expr>" works too
+		switch line {
+		case "":
+			continue
+		case "q", "quit":
+			return nil
+		case "bt", "backtrace":
+			printBacktrace(c, out)
+			continue
+		}
+		if err := ses.Exec(out, line); err != nil {
+			fmt.Fprintln(out, "duel:", err)
+		}
+	}
+}
+
+func printBacktrace(c *coredbg.Core, out io.Writer) {
+	for i := 0; i < c.NumFrames(); i++ {
+		name, _ := c.FrameFunc(i)
+		fmt.Fprintf(out, "#%d  %s\n", i, name)
+	}
 }

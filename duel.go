@@ -57,6 +57,12 @@ type Options struct {
 	// MaxOutput bounds the number of result lines Exec prints
 	// (0 = unlimited).
 	MaxOutput int
+	// Debugger optionally carries the host debugger inside the options,
+	// for front ends that configure a session in one value. NewSession's
+	// positional debugger wins when both are given; an externally built
+	// substrate (a core dump via internal/coredbg, say) can be attached by
+	// passing nil positionally and setting this field.
+	Debugger dbgif.Debugger
 }
 
 // DefaultOptions returns the standard session options.
@@ -175,6 +181,12 @@ func NewSession(d dbgif.Debugger, opts ...Options) (*Session, error) {
 	o := DefaultOptions()
 	if len(opts) > 0 {
 		o = NormalizeOptions(opts[0])
+	}
+	if d == nil {
+		d = o.Debugger
+	}
+	if d == nil {
+		return nil, errors.New("duel: no debugger (pass one to NewSession or set Options.Debugger)")
 	}
 	b, err := core.GetBackend(o.Backend)
 	if err != nil {

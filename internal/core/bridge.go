@@ -40,6 +40,13 @@ func (e *Env) Rval(v value.Value) (value.Value, error) { return e.rval(v) }
 // Truth converts a value to a C truth value (rval + non-zero test).
 func (e *Env) Truth(u value.Value) (bool, error) { return e.truth(u) }
 
+// ContainStore classifies a failed Store exactly like the built-in
+// backends: under Options.ErrorValues a read-only-target fault becomes a
+// per-element error value instead of aborting the evaluation.
+func (e *Env) ContainStore(dst value.Value, err error) (value.Value, bool) {
+	return e.containStore(dst, err)
+}
+
 // RangeBound converts a range operand to its integer bound.
 func (e *Env) RangeBound(u value.Value) (int64, error) { return e.rangeBound(u) }
 

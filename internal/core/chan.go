@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
-	"strings"
 
 	"duel/internal/ctype"
 	"duel/internal/dbgif"
@@ -258,6 +257,9 @@ func (g *cgen) run(n *ast.Node, y yielder) error {
 				return err
 			}
 			if err := e.Ctx.Store(u, upd); err != nil {
+				if pv, ok := e.containStore(u, err); ok {
+					return y.out(pv)
+				}
 				return err
 			}
 			if pre {
@@ -653,6 +655,9 @@ func (g *cgen) run(n *ast.Node, y yielder) error {
 				}
 				e.Num.Applies++
 				if err := e.Ctx.Store(u, rv); err != nil {
+					if pv, ok := e.containStore(u, err); ok {
+						return y.out(pv)
+					}
 					return err
 				}
 				return y.out(u)
@@ -983,19 +988,15 @@ func (g *cgen) callOnce(fv value.Value, sig *ctype.Func, addr uint64, args []val
 	e.Num.Applies++
 	out, err := e.Ctx.D.CallTargetFunc(addr, in)
 	if err != nil {
+		if pv, ok := e.containCall(e.callResultSym(fv, args), err); ok {
+			return y.out(pv)
+		}
 		return fmt.Errorf("duel: call to %s: %w", callSymName(fv.Sym.S), err)
 	}
 	if out.Type == nil || ctype.IsVoid(out.Type) {
 		return nil
 	}
 	res := value.Value{Type: out.Type, Bytes: out.Bytes}
-	if e.Opts.Symbolic {
-		parts := make([]string, len(args))
-		for i, a := range args {
-			parts[i] = a.Sym.S
-		}
-		res.Sym = e.atom(fv.Sym.At(value.PrecPostfix) + "(" + strings.Join(parts, ", ") + ")")
-		res.Sym.Prec = value.PrecPostfix
-	}
+	res.Sym = e.callResultSym(fv, args)
 	return y.out(res)
 }

@@ -230,6 +230,9 @@ func compile(n *ast.Node) prog {
 					return err
 				}
 				if err := e.Ctx.Store(u, upd); err != nil {
+					if pv, ok := e.ContainStore(u, err); ok {
+						return yield(pv)
+					}
 					return err
 				}
 				if pre {
@@ -804,6 +807,9 @@ func compile(n *ast.Node) prog {
 					}
 					e.Num.Applies++
 					if err := e.Ctx.Store(u, rv); err != nil {
+						if pv, ok := e.ContainStore(u, err); ok {
+							return yield(pv)
+						}
 						return err
 					}
 					return yield(u)

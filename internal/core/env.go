@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -534,6 +535,46 @@ func (e *Env) internString(n *ast.Node) (value.Value, error) {
 	lv := value.Lvalue(t, addr)
 	lv.Sym = e.atom(n.Text)
 	return lv, nil
+}
+
+// containStore classifies a failed Store: under Options.ErrorValues a
+// read-only-target fault (a core dump, any substrate whose Capabilities
+// report CanWrite=false) is contained into an error value carrying the
+// destination's symbolic derivation — exactly how a read fault is contained
+// by rval — so "x[..n] = 0" against a core fails per element and the
+// enclosing generator continues. Every other error, and every error with
+// ErrorValues off, aborts as before.
+func (e *Env) containStore(dst value.Value, err error) (value.Value, bool) {
+	if err == nil || !e.Opts.ErrorValues || !errors.Is(err, dbgif.ErrReadOnlyTarget) {
+		return value.Value{}, false
+	}
+	return value.Poison(dst.Sym, err), true
+}
+
+// containCall is containStore for CallTargetFunc failures: a call into a
+// read-only target becomes one error value per argument combination under
+// Options.ErrorValues.
+func (e *Env) containCall(sym value.Sym, err error) (value.Value, bool) {
+	if err == nil || !e.Opts.ErrorValues || !errors.Is(err, dbgif.ErrReadOnlyTarget) {
+		return value.Value{}, false
+	}
+	return value.Poison(sym, err), true
+}
+
+// callResultSym composes the symbolic value of a call result,
+// "f(arg1, arg2)", shared by every backend so their transcripts stay
+// byte-identical.
+func (e *Env) callResultSym(fv value.Value, args []value.Value) value.Sym {
+	if !e.Opts.Symbolic {
+		return value.Sym{}
+	}
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.Sym.S
+	}
+	s := e.atom(fv.Sym.At(value.PrecPostfix) + "(" + strings.Join(parts, ", ") + ")")
+	s.Prec = value.PrecPostfix
+	return s
 }
 
 // badFieldRef reports the resolution of a field behind a bad pointer: the

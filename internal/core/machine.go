@@ -796,6 +796,9 @@ func (m *machine) evalIncDec(n *ast.Node) (value.Value, bool, error) {
 		return value.Value{}, false, err
 	}
 	if err := e.Ctx.Store(u, upd); err != nil {
+		if pv, ok := e.containStore(u, err); ok {
+			return pv, true, nil
+		}
 		return value.Value{}, false, err
 	}
 	if pre {
@@ -834,6 +837,9 @@ func (m *machine) evalAssign(n *ast.Node, st *mstate) (value.Value, bool, error)
 				}
 				e.Num.Applies++
 				if err := e.Ctx.Store(st.val, rv); err != nil {
+					if pv, ok := e.containStore(st.val, err); ok {
+						return pv, true, nil
+					}
 					return value.Value{}, false, err
 				}
 				return st.val, true, nil
@@ -1384,20 +1390,16 @@ func (m *machine) callOnce(st *mstate) (value.Value, bool, error) {
 	e.Num.Applies++
 	out, err := e.Ctx.D.CallTargetFunc(st.addr, in)
 	if err != nil {
+		if pv, ok := e.containCall(e.callResultSym(st.fv, st.args), err); ok {
+			return pv, true, nil
+		}
 		return value.Value{}, false, fmt.Errorf("duel: call to %s: %w", callSymName(st.fv.Sym.S), err)
 	}
 	if out.Type == nil || ctype.IsVoid(out.Type) {
 		return value.Value{}, false, nil
 	}
 	res := value.Value{Type: out.Type, Bytes: out.Bytes}
-	if e.Opts.Symbolic {
-		parts := make([]string, len(st.args))
-		for i, a := range st.args {
-			parts[i] = a.Sym.S
-		}
-		res.Sym = e.atom(st.fv.Sym.At(value.PrecPostfix) + "(" + strings.Join(parts, ", ") + ")")
-		res.Sym.Prec = value.PrecPostfix
-	}
+	res.Sym = e.callResultSym(st.fv, st.args)
 	return res, true, nil
 }
 

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
-	"strings"
 
 	"duel/internal/ctype"
 	"duel/internal/dbgif"
@@ -595,6 +594,9 @@ func (e *Env) evalIncDec(n *ast.Node, yield EmitFn) error {
 			return err
 		}
 		if err := e.Ctx.Store(u, upd); err != nil {
+			if pv, ok := e.containStore(u, err); ok {
+				return yield(pv)
+			}
 			return err
 		}
 		if pre {
@@ -634,6 +636,9 @@ func (e *Env) evalAssign(n *ast.Node, yield EmitFn) error {
 			}
 			e.Num.Applies++
 			if err := e.Ctx.Store(u, rv); err != nil {
+				if pv, ok := e.containStore(u, err); ok {
+					return yield(pv)
+				}
 				return err
 			}
 			return yield(u)
@@ -971,20 +976,16 @@ func (e *Env) callOnce(fv value.Value, sig *ctype.Func, addr uint64, args []valu
 	e.Num.Applies++
 	out, err := e.Ctx.D.CallTargetFunc(addr, in)
 	if err != nil {
+		if pv, ok := e.containCall(e.callResultSym(fv, args), err); ok {
+			return yield(pv)
+		}
 		return fmt.Errorf("duel: call to %s: %w", callSymName(fv.Sym.S), err)
 	}
 	if out.Type == nil || ctype.IsVoid(out.Type) {
 		return nil
 	}
 	res := value.Value{Type: out.Type, Bytes: out.Bytes}
-	if e.Opts.Symbolic {
-		parts := make([]string, len(args))
-		for i, a := range args {
-			parts[i] = a.Sym.S
-		}
-		res.Sym = e.atom(fv.Sym.At(value.PrecPostfix) + "(" + strings.Join(parts, ", ") + ")")
-		res.Sym.Prec = value.PrecPostfix
-	}
+	res.Sym = e.callResultSym(fv, args)
 	return yield(res)
 }
 

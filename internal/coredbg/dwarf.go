@@ -1,0 +1,182 @@
+package coredbg
+
+import (
+	"debug/dwarf"
+	"fmt"
+)
+
+// symEntry is one named symbol from the DWARF index: a global (or
+// file-static) variable with a fixed address, or a function entry point.
+type symEntry struct {
+	die  dwarf.Offset // the variable or subprogram DIE
+	addr uint64
+	fn   bool
+}
+
+// funcRange maps a pc range to its subprogram DIE, for frame attribution.
+type funcRange struct {
+	low, high uint64
+	die       dwarf.Offset
+	name      string
+}
+
+// enumConstEntry locates one enumeration constant: the enum DIE it belongs
+// to and its value.
+type enumConstEntry struct {
+	enum dwarf.Offset
+	val  int64
+}
+
+// index is the one-pass symbol catalogue built at Open: every lookup the
+// dbgif interface serves by name resolves here to a DIE offset, and the
+// type mapper converts DIEs to ctype lazily from there.
+type index struct {
+	vars       map[string]symEntry
+	typedefs   map[string]dwarf.Offset
+	structs    map[string]dwarf.Offset // struct tag -> defining DIE
+	unions     map[string]dwarf.Offset
+	enums      map[string]dwarf.Offset
+	enumConsts map[string]enumConstEntry
+	funcs      []funcRange
+}
+
+// buildIndex scans every DIE once. Tags index their first complete
+// definition; variables index by DW_OP_addr location (file scope and
+// function statics alike — both have fixed storage in a photograph).
+func buildIndex(dw *dwarf.Data) (*index, error) {
+	ix := &index{
+		vars:       map[string]symEntry{},
+		typedefs:   map[string]dwarf.Offset{},
+		structs:    map[string]dwarf.Offset{},
+		unions:     map[string]dwarf.Offset{},
+		enums:      map[string]dwarf.Offset{},
+		enumConsts: map[string]enumConstEntry{},
+	}
+	r := dw.Reader()
+	// enclosing tracks the DIE nesting so enumerators can be attributed to
+	// their enumeration type.
+	var enclosing []dwarf.Offset
+	byOffset := map[dwarf.Offset]dwarf.Tag{}
+	for {
+		e, err := r.Next()
+		if err != nil {
+			return nil, fmt.Errorf("coredbg: reading DWARF: %w", err)
+		}
+		if e == nil {
+			break
+		}
+		if e.Tag == 0 { // end-of-children marker
+			if len(enclosing) > 0 {
+				enclosing = enclosing[:len(enclosing)-1]
+			}
+			continue
+		}
+		name, _ := e.Val(dwarf.AttrName).(string)
+		decl, _ := e.Val(dwarf.AttrDeclaration).(bool)
+		switch e.Tag {
+		case dwarf.TagVariable:
+			if addr, ok := staticAddr(e); ok && name != "" {
+				if _, dup := ix.vars[name]; !dup {
+					ix.vars[name] = symEntry{die: e.Offset, addr: addr}
+				}
+			}
+		case dwarf.TagSubprogram:
+			low, ok := e.Val(dwarf.AttrLowpc).(uint64)
+			if !ok || name == "" {
+				break
+			}
+			high := highPC(e, low)
+			ix.funcs = append(ix.funcs, funcRange{low: low, high: high, die: e.Offset, name: name})
+			if _, dup := ix.vars[name]; !dup {
+				ix.vars[name] = symEntry{die: e.Offset, addr: low, fn: true}
+			}
+		case dwarf.TagTypedef:
+			if name != "" {
+				if _, dup := ix.typedefs[name]; !dup {
+					ix.typedefs[name] = e.Offset
+				}
+			}
+		case dwarf.TagStructType:
+			if name != "" && !decl {
+				if _, dup := ix.structs[name]; !dup {
+					ix.structs[name] = e.Offset
+				}
+			}
+		case dwarf.TagUnionType:
+			if name != "" && !decl {
+				if _, dup := ix.unions[name]; !dup {
+					ix.unions[name] = e.Offset
+				}
+			}
+		case dwarf.TagEnumerationType:
+			if name != "" && !decl {
+				if _, dup := ix.enums[name]; !dup {
+					ix.enums[name] = e.Offset
+				}
+			}
+		case dwarf.TagEnumerator:
+			val, ok := e.Val(dwarf.AttrConstValue).(int64)
+			if ok && name != "" && len(enclosing) > 0 {
+				owner := enclosing[len(enclosing)-1]
+				if byOffset[owner] == dwarf.TagEnumerationType {
+					if _, dup := ix.enumConsts[name]; !dup {
+						ix.enumConsts[name] = enumConstEntry{enum: owner, val: val}
+					}
+				}
+			}
+		}
+		if e.Children {
+			byOffset[e.Offset] = e.Tag
+			enclosing = append(enclosing, e.Offset)
+		}
+	}
+	return ix, nil
+}
+
+// staticAddr extracts a variable's address when its location is the
+// constant-address form the compiler emits for globals: a DW_AT_location
+// exprloc consisting of DW_OP_addr <address>.
+func staticAddr(e *dwarf.Entry) (uint64, bool) {
+	loc, ok := e.Val(dwarf.AttrLocation).([]byte)
+	if !ok || len(loc) != 9 || loc[0] != 0x03 { // DW_OP_addr, 8-byte operand
+		return 0, false
+	}
+	var addr uint64
+	for i := 8; i >= 1; i-- {
+		addr = addr<<8 | uint64(loc[i])
+	}
+	return addr, true
+}
+
+// highPC resolves DW_AT_high_pc, which DWARF allows as either an absolute
+// address or an offset from the low pc.
+func highPC(e *dwarf.Entry, low uint64) uint64 {
+	switch f := e.AttrField(dwarf.AttrHighpc); {
+	case f == nil:
+		return low + 1
+	case f.Class == dwarf.ClassAddress:
+		return f.Val.(uint64)
+	default:
+		if off, ok := f.Val.(int64); ok {
+			return low + uint64(off)
+		}
+	}
+	return low + 1
+}
+
+// sleb128 decodes a signed LEB128 value, returning it and the bytes read.
+func sleb128(b []byte) (int64, int) {
+	var v int64
+	var shift uint
+	for i, c := range b {
+		v |= int64(c&0x7f) << shift
+		shift += 7
+		if c&0x80 == 0 {
+			if shift < 64 && c&0x40 != 0 {
+				v |= -1 << shift
+			}
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}

@@ -1,0 +1,144 @@
+package coredbg
+
+import (
+	"debug/elf"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// segment is one loadable region of the photographed address space. Core
+// segments carry the dumped bytes; executable segments back the regions the
+// kernel chose not to duplicate into the dump (text, rodata). data holds the
+// file-backed prefix; the [len(data), memsz) tail reads as zero (BSS).
+type segment struct {
+	vaddr uint64
+	memsz uint64
+	data  []byte
+	core  bool
+}
+
+func (s *segment) covers(addr uint64) bool {
+	return addr >= s.vaddr && addr-s.vaddr < s.memsz
+}
+
+// prregs is the slice of the x86-64 user_regs_struct the unwinder needs.
+type prregs struct {
+	rbp, rsp, rip uint64
+}
+
+// x86-64 elf_prstatus layout: the pr_reg array starts at byte 112 and holds
+// the 27 u64 slots of user_regs_struct, in ptrace order.
+const (
+	prstatusRegsOff = 112
+	numRegs         = 27
+	regRBP          = 4
+	regRIP          = 16
+	regRSP          = 19
+)
+
+// loadCore reads the PT_LOAD segments and the first NT_PRSTATUS note of an
+// ELF core file.
+func loadCore(f *elf.File) ([]segment, *prregs, error) {
+	if f.Type != elf.ET_CORE {
+		return nil, nil, fmt.Errorf("coredbg: not a core file (ELF type %v)", f.Type)
+	}
+	if err := checkELF(f); err != nil {
+		return nil, nil, err
+	}
+	var segs []segment
+	var regs *prregs
+	for _, p := range f.Progs {
+		switch p.Type {
+		case elf.PT_LOAD:
+			if p.Memsz == 0 {
+				continue
+			}
+			data, err := readProg(p)
+			if err != nil {
+				return nil, nil, fmt.Errorf("coredbg: core segment at 0x%x: %w", p.Vaddr, err)
+			}
+			segs = append(segs, segment{vaddr: p.Vaddr, memsz: p.Memsz, data: data, core: true})
+		case elf.PT_NOTE:
+			if regs != nil {
+				continue
+			}
+			data, err := readProg(p)
+			if err != nil {
+				return nil, nil, fmt.Errorf("coredbg: core notes: %w", err)
+			}
+			regs = findPrstatus(data)
+		}
+	}
+	if len(segs) == 0 {
+		return nil, nil, fmt.Errorf("coredbg: core file has no loadable segments")
+	}
+	return segs, regs, nil
+}
+
+// loadExe reads the PT_LOAD segments of the executable the core was dumped
+// from; they back the file-mapped regions the kernel skipped when dumping.
+func loadExe(f *elf.File) ([]segment, error) {
+	if err := checkELF(f); err != nil {
+		return nil, err
+	}
+	if f.Type != elf.ET_EXEC {
+		return nil, fmt.Errorf("coredbg: executable has ELF type %v; only fixed-address (non-PIE) executables are supported", f.Type)
+	}
+	var segs []segment
+	for _, p := range f.Progs {
+		if p.Type != elf.PT_LOAD || p.Memsz == 0 {
+			continue
+		}
+		data, err := readProg(p)
+		if err != nil {
+			return nil, fmt.Errorf("coredbg: exe segment at 0x%x: %w", p.Vaddr, err)
+		}
+		segs = append(segs, segment{vaddr: p.Vaddr, memsz: p.Memsz, data: data})
+	}
+	return segs, nil
+}
+
+func checkELF(f *elf.File) error {
+	if f.Class != elf.ELFCLASS64 || f.Data != elf.ELFDATA2LSB || f.Machine != elf.EM_X86_64 {
+		return fmt.Errorf("coredbg: unsupported ELF flavor (class %v, data %v, machine %v); only little-endian x86-64 is supported",
+			f.Class, f.Data, f.Machine)
+	}
+	return nil
+}
+
+func readProg(p *elf.Prog) ([]byte, error) {
+	if p.Filesz == 0 {
+		return nil, nil
+	}
+	data := make([]byte, p.Filesz)
+	if _, err := io.ReadFull(io.NewSectionReader(p, 0, int64(p.Filesz)), data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// findPrstatus scans an ELF note stream for the first NT_PRSTATUS (the
+// thread that caused the dump; the kernel writes it first) and extracts the
+// frame-walk registers.
+func findPrstatus(notes []byte) *prregs {
+	le := binary.LittleEndian
+	for len(notes) >= 12 {
+		namesz := int(le.Uint32(notes[0:]))
+		descsz := int(le.Uint32(notes[4:]))
+		ntype := le.Uint32(notes[8:])
+		p := 12 + align4(namesz)
+		if p+descsz > len(notes) {
+			return nil
+		}
+		desc := notes[p : p+descsz]
+		if ntype == uint32(elf.NT_PRSTATUS) && len(desc) >= prstatusRegsOff+numRegs*8 {
+			reg := func(i int) uint64 { return le.Uint64(desc[prstatusRegsOff+8*i:]) }
+			return &prregs{rbp: reg(regRBP), rsp: reg(regRSP), rip: reg(regRIP)}
+		}
+		notes = notes[p+align4(descsz):]
+	}
+	return nil
+}
+
+func align4(n int) int { return (n + 3) &^ 3 }

@@ -1,0 +1,65 @@
+/*
+ * fixture.c — the conformance debuggee for internal/coredbg, built and
+ * crashed by gen.sh to produce fixture (the executable) and fixture.core
+ * (the dump). It defines exactly the symbols the dbgiftest battery expects,
+ * plus the linked list and int array the cross-backend DUEL queries walk.
+ *
+ * Built freestanding (-nostdlib -static -no-pie) so the checked-in
+ * artifacts stay small: no libc, a hand-rolled _start that zeroes the frame
+ * pointer (terminating the unwinder's chain) and calls into code that
+ * always dereferences NULL a few frames deep.
+ */
+
+typedef int myint;
+
+int g = 42;
+int arr[4] = {1, 2, 3, 4};
+char *msg = "hi"; /* pointer in .data, text in .rodata: exercises the exe fallback */
+
+struct pair {
+    int x, y;
+};
+struct pair pt = {7, 8};
+
+enum color { RED = 0, BLUE = 6 };
+enum color col = BLUE;
+myint mi = 1;
+
+/* The list and array from the paper's examples, shared with the in-memory
+ * differential debuggees (values match backend_differential_test.go). */
+struct node {
+    int value;
+    struct node *next;
+};
+struct node n4 = {8, 0};
+struct node n3 = {7, &n4};
+struct node n2 = {1, &n3};
+struct node n1 = {7, &n2};
+struct node n0 = {2, &n1};
+struct node *head = &n0;
+
+int x[10] = {3, -1, 4, -1, 5, 9, -2, 6, 0, 7};
+
+int zeroed_bss[16]; /* lands in BSS: exercises the zero-fill tail */
+
+int twice(int k) { return 2 * k; }
+
+int crash(int depth, int seed)
+{
+    int local = seed + depth;
+    if (depth == 0) {
+        *(volatile int *)0 = local; /* SIGSEGV: the kernel writes the core */
+        return 0;
+    }
+    return crash(depth - 1, local) + local;
+}
+
+int run(void) { return crash(3, twice(g)); }
+
+/* A minimal _start in pure asm: zero the frame pointer so the unwinder's
+ * rbp chain terminates at run(), then enter the C code that faults. */
+__asm__(".global _start\n"
+        "_start:\n"
+        "\txor %ebp, %ebp\n"
+        "\tcall run\n"
+        "\thlt\n");

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Regenerates the coredbg test fixture: compiles fixture.c freestanding,
+# runs it until it faults, and keeps the kernel's core dump next to it.
+#
+# Needs: a C compiler (cc), a kernel whose /proc/sys/kernel/core_pattern
+# names a plain file (not a pipe helper), and permission to raise the core
+# rlimit. The checked-in fixture/fixture.core pair means tests do not need
+# any of this; rerun only when fixture.c changes.
+set -eu
+cd "$(dirname "$0")"
+
+cc -g -O0 -static -no-pie -nostdlib -fno-omit-frame-pointer \
+    -o fixture fixture.c
+
+rm -f core core.* fixture.core
+ulimit -c unlimited
+./fixture || true
+
+for f in core core.*; do
+    if [ -f "$f" ]; then
+        mv "$f" fixture.core
+        break
+    fi
+done
+if [ ! -f fixture.core ]; then
+    echo "gen.sh: no core dump produced; check /proc/sys/kernel/core_pattern" >&2
+    exit 1
+fi
+ls -l fixture fixture.core

@@ -1,0 +1,347 @@
+package coredbg
+
+import (
+	"debug/dwarf"
+	"fmt"
+
+	"duel/internal/ctype"
+)
+
+// typeAt maps the type DIE at off onto the ctype world, lazily and
+// cycle-safely: the result is cached by DIE offset before members are
+// mapped, so self-referential structs (struct node { struct node *next; })
+// terminate, and repeated lookups return the identical *ctype.Struct — the
+// identity the evaluator's type equality relies on.
+//
+// The caller must hold c.mu.
+func (c *Core) typeAt(off dwarf.Offset) (ctype.Type, error) {
+	if t, ok := c.types[off]; ok {
+		return t, nil
+	}
+	r := c.dw.Reader()
+	r.Seek(off)
+	e, err := r.Next()
+	if err != nil || e == nil {
+		return nil, fmt.Errorf("coredbg: no DIE at offset 0x%x: %w", off, err)
+	}
+	t, err := c.mapDIE(r, e)
+	if err != nil {
+		return nil, err
+	}
+	c.types[off] = t
+	return t, nil
+}
+
+// refType maps the DIE referenced by e's DW_AT_type; absence means void
+// (a pointer with no pointee type, a function with no return value).
+func (c *Core) refType(e *dwarf.Entry) (ctype.Type, error) {
+	ref, ok := e.Val(dwarf.AttrType).(dwarf.Offset)
+	if !ok {
+		return c.arch.Void, nil
+	}
+	return c.typeAt(ref)
+}
+
+func (c *Core) mapDIE(r *dwarf.Reader, e *dwarf.Entry) (ctype.Type, error) {
+	a := c.arch
+	switch e.Tag {
+	case dwarf.TagBaseType:
+		return c.mapBase(e)
+
+	case dwarf.TagPointerType:
+		elem, err := c.refType(e)
+		if err != nil {
+			return nil, err
+		}
+		return a.Ptr(elem), nil
+
+	case dwarf.TagConstType, dwarf.TagVolatileType, dwarf.TagRestrictType:
+		// Qualifiers don't exist in DUEL's type algebra; strip them.
+		return c.refType(e)
+
+	case dwarf.TagTypedef:
+		name, _ := e.Val(dwarf.AttrName).(string)
+		under, err := c.refType(e)
+		if err != nil {
+			return nil, err
+		}
+		return &ctype.Typedef{Name: name, Under: under}, nil
+
+	case dwarf.TagArrayType:
+		return c.mapArray(r, e)
+
+	case dwarf.TagStructType, dwarf.TagUnionType:
+		return c.mapStruct(r, e)
+
+	case dwarf.TagEnumerationType:
+		return c.mapEnum(r, e)
+
+	case dwarf.TagSubroutineType:
+		return c.mapFuncType(r, e)
+
+	default:
+		return nil, fmt.Errorf("coredbg: unsupported DWARF type tag %v at offset 0x%x", e.Tag, e.Offset)
+	}
+}
+
+// DWARF base-type encodings (DW_ATE_*).
+const (
+	ateAddress      = 0x01
+	ateBoolean      = 0x02
+	ateFloat        = 0x04
+	ateSigned       = 0x05
+	ateSignedChar   = 0x06
+	ateUnsigned     = 0x07
+	ateUnsignedChar = 0x08
+)
+
+func (c *Core) mapBase(e *dwarf.Entry) (ctype.Type, error) {
+	a := c.arch
+	name, _ := e.Val(dwarf.AttrName).(string)
+	enc, _ := e.Val(dwarf.AttrEncoding).(int64)
+	size, _ := e.Val(dwarf.AttrByteSize).(int64)
+	// Plain "char" keeps its own kind: DUEL prints it as characters.
+	if name == "char" {
+		return a.Char, nil
+	}
+	switch enc {
+	case ateSignedChar:
+		return a.SChar, nil
+	case ateUnsignedChar, ateBoolean:
+		return a.UChar, nil
+	case ateSigned:
+		switch size {
+		case 1:
+			return a.SChar, nil
+		case 2:
+			return a.Short, nil
+		case 4:
+			return a.Int, nil
+		case 8:
+			if name == "long long int" {
+				return a.LongLong, nil
+			}
+			return a.Long, nil
+		}
+	case ateUnsigned:
+		switch size {
+		case 1:
+			return a.UChar, nil
+		case 2:
+			return a.UShort, nil
+		case 4:
+			return a.UInt, nil
+		case 8:
+			if name == "long long unsigned int" {
+				return a.ULongLong, nil
+			}
+			return a.ULong, nil
+		}
+	case ateFloat:
+		switch size {
+		case 4:
+			return a.Float, nil
+		case 8:
+			return a.Double, nil
+		}
+	case ateAddress:
+		return a.Ptr(a.Void), nil
+	}
+	return nil, fmt.Errorf("coredbg: unsupported base type %q (encoding %d, %d bytes)", name, enc, size)
+}
+
+func (c *Core) mapArray(r *dwarf.Reader, e *dwarf.Entry) (ctype.Type, error) {
+	elemRef, _ := e.Val(dwarf.AttrType).(dwarf.Offset)
+	n := -1 // incomplete array unless a subrange says otherwise
+	if e.Children {
+		for {
+			kid, err := r.Next()
+			if err != nil {
+				return nil, err
+			}
+			if kid == nil || kid.Tag == 0 {
+				break
+			}
+			if kid.Tag == dwarf.TagSubrangeType && n < 0 {
+				if count, ok := kid.Val(dwarf.AttrCount).(int64); ok {
+					n = int(count)
+				} else if upper, ok := kid.Val(dwarf.AttrUpperBound).(int64); ok {
+					n = int(upper) + 1
+				}
+			}
+			if kid.Children {
+				r.SkipChildren()
+			}
+		}
+	}
+	// The element type may itself need the reader; map it after draining
+	// the children (typeAt re-seeks its own reader).
+	elem, err := c.typeAt(elemRef)
+	if err != nil {
+		return nil, err
+	}
+	return c.arch.ArrayOf(elem, n), nil
+}
+
+// mapStruct lays the DWARF members back out through ctype.SetFields and
+// verifies the C layout rules reproduced the compiler's offsets. The shell
+// is cached before members are mapped so recursive member types resolve to
+// it instead of recursing forever.
+func (c *Core) mapStruct(r *dwarf.Reader, e *dwarf.Entry) (ctype.Type, error) {
+	tag, _ := e.Val(dwarf.AttrName).(string)
+	union := e.Tag == dwarf.TagUnionType
+	s := c.arch.NewStruct(tag, union)
+	c.types[e.Offset] = s
+	if decl, _ := e.Val(dwarf.AttrDeclaration).(bool); decl || !e.Children {
+		return s, nil // opaque declaration: stays incomplete
+	}
+
+	type member struct {
+		name    string
+		typeRef dwarf.Offset
+		off     int64
+		bits    int64
+	}
+	var members []member
+	for {
+		kid, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if kid == nil || kid.Tag == 0 {
+			break
+		}
+		if kid.Tag == dwarf.TagMember {
+			m := member{off: -1}
+			m.name, _ = kid.Val(dwarf.AttrName).(string)
+			m.typeRef, _ = kid.Val(dwarf.AttrType).(dwarf.Offset)
+			if off, ok := kid.Val(dwarf.AttrDataMemberLoc).(int64); ok {
+				m.off = off
+			} else if !union {
+				m.off = -1
+			} else {
+				m.off = 0
+			}
+			m.bits, _ = kid.Val(dwarf.AttrBitSize).(int64)
+			members = append(members, m)
+		}
+		if kid.Children {
+			r.SkipChildren()
+		}
+	}
+
+	specs := make([]ctype.FieldSpec, len(members))
+	for i, m := range members {
+		ft, err := c.typeAt(m.typeRef)
+		if err != nil {
+			return nil, fmt.Errorf("coredbg: struct %s member %q: %w", tag, m.name, err)
+		}
+		specs[i] = ctype.FieldSpec{Name: m.name, Type: ft, BitWidth: int(m.bits)}
+	}
+	if err := c.arch.SetFields(s, specs); err != nil {
+		return nil, fmt.Errorf("coredbg: struct %s: %w", tag, err)
+	}
+	// The evaluator trusts ctype's layout; if the compiler placed members
+	// elsewhere (packed or aligned attributes), refuse rather than read
+	// the wrong bytes.
+	for i, m := range members {
+		if m.bits > 0 || m.off < 0 {
+			continue // bitfield packing is checked by total size below
+		}
+		if f, ok := s.Field(m.name); ok && int64(f.Off) != m.off {
+			return nil, fmt.Errorf("coredbg: struct %s member %q: DWARF offset %d != C layout offset %d (unsupported layout, member %d)",
+				tag, m.name, m.off, f.Off, i)
+		}
+	}
+	if bs, ok := e.Val(dwarf.AttrByteSize).(int64); ok && int64(s.Size()) != bs {
+		return nil, fmt.Errorf("coredbg: struct %s: DWARF size %d != C layout size %d (unsupported layout)", tag, bs, s.Size())
+	}
+	return s, nil
+}
+
+func (c *Core) mapEnum(r *dwarf.Reader, e *dwarf.Entry) (ctype.Type, error) {
+	tag, _ := e.Val(dwarf.AttrName).(string)
+	var consts []ctype.EnumConst
+	if e.Children {
+		for {
+			kid, err := r.Next()
+			if err != nil {
+				return nil, err
+			}
+			if kid == nil || kid.Tag == 0 {
+				break
+			}
+			if kid.Tag == dwarf.TagEnumerator {
+				name, _ := kid.Val(dwarf.AttrName).(string)
+				val, _ := kid.Val(dwarf.AttrConstValue).(int64)
+				consts = append(consts, ctype.EnumConst{Name: name, Value: val})
+			}
+			if kid.Children {
+				r.SkipChildren()
+			}
+		}
+	}
+	return c.arch.EnumOf(tag, consts), nil
+}
+
+func (c *Core) mapFuncType(r *dwarf.Reader, e *dwarf.Entry) (ctype.Type, error) {
+	var paramRefs []dwarf.Offset
+	variadic := false
+	if e.Children {
+		for {
+			kid, err := r.Next()
+			if err != nil {
+				return nil, err
+			}
+			if kid == nil || kid.Tag == 0 {
+				break
+			}
+			switch kid.Tag {
+			case dwarf.TagFormalParameter:
+				if ref, ok := kid.Val(dwarf.AttrType).(dwarf.Offset); ok {
+					paramRefs = append(paramRefs, ref)
+				}
+			case dwarf.TagUnspecifiedParameters:
+				variadic = true
+			}
+			if kid.Children {
+				r.SkipChildren()
+			}
+		}
+	}
+	ret, err := c.refType(e)
+	if err != nil {
+		return nil, err
+	}
+	params := make([]ctype.Type, len(paramRefs))
+	for i, ref := range paramRefs {
+		if params[i], err = c.typeAt(ref); err != nil {
+			return nil, err
+		}
+	}
+	return c.arch.FuncOf(ret, params, variadic), nil
+}
+
+// funcTypeOf builds the ctype.Func of a subprogram DIE (which, unlike
+// DW_TAG_subroutine_type, carries its parameters as children with their own
+// locations). The caller must hold c.mu.
+func (c *Core) funcTypeOf(off dwarf.Offset) (*ctype.Func, error) {
+	if t, ok := c.types[off]; ok {
+		if f, ok := t.(*ctype.Func); ok {
+			return f, nil
+		}
+	}
+	r := c.dw.Reader()
+	r.Seek(off)
+	e, err := r.Next()
+	if err != nil || e == nil || e.Tag != dwarf.TagSubprogram {
+		return nil, fmt.Errorf("coredbg: no subprogram DIE at offset 0x%x", off)
+	}
+	t, err := c.mapFuncType(r, e)
+	if err != nil {
+		return nil, err
+	}
+	f := t.(*ctype.Func)
+	c.types[off] = f
+	return f, nil
+}

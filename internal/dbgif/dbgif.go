@@ -21,7 +21,11 @@
 // fault errors, per-session counters, and an optional page cache.
 package dbgif
 
-import "duel/internal/ctype"
+import (
+	"errors"
+
+	"duel/internal/ctype"
+)
 
 // Value is a typed rvalue crossing the interface: raw bytes of a C value in
 // target representation. (The paper's interface module spends ~100 lines
@@ -68,6 +72,91 @@ func Resume(d Debugger) {
 	if i, ok := d.(Interrupter); ok {
 		i.Resume()
 	}
+}
+
+// ErrReadOnlyTarget is the sentinel every immutable substrate wraps in the
+// errors it returns from PutTargetBytes, AllocTargetSpace and
+// CallTargetFunc. A core dump is a photograph of a process, not a process:
+// it cannot be written, grown or run. Layers above match it with errors.Is
+// to fail a declaration, assignment or call cleanly (per element, under
+// ErrorValues) instead of treating it as target sickness.
+var ErrReadOnlyTarget = errors.New("dbgif: target is read-only")
+
+// Capabilities is an optional interface a Debugger may implement to declare
+// which mutating operations its substrate supports. A live process supports
+// all three; a core dump supports none. Absence of the interface means
+// "fully capable" — the zero-cost default for every writable substrate.
+//
+// Capability queries must be cheap and stable: callers (the serving layer's
+// query classifier, the conformance battery, the evaluator's error paths)
+// may ask on every query.
+type Capabilities interface {
+	// CanWrite reports whether PutTargetBytes can succeed.
+	CanWrite() bool
+	// CanAlloc reports whether AllocTargetSpace can succeed.
+	CanAlloc() bool
+	// CanCall reports whether CallTargetFunc can succeed.
+	CanCall() bool
+}
+
+// Wrapper is the unwrap convention for debugger middleware (memio.Accessor,
+// faultdbg.Injector): a wrapper that cannot answer an optional-interface
+// query itself exposes the debugger it wraps, and the capability helpers
+// walk the chain. This is errors.Unwrap for debuggers — without it, any
+// wrapper inserted into the chain would silently erase the optional
+// interfaces of everything below it.
+type Wrapper interface {
+	Unwrap() Debugger
+}
+
+// capabilitiesOf walks d's unwrap chain to the first layer that declares
+// capabilities.
+func capabilitiesOf(d Debugger) (Capabilities, bool) {
+	for d != nil {
+		if c, ok := d.(Capabilities); ok {
+			return c, true
+		}
+		w, ok := d.(Wrapper)
+		if !ok {
+			return nil, false
+		}
+		d = w.Unwrap()
+	}
+	return nil, false
+}
+
+// CanWrite reports whether d's substrate accepts PutTargetBytes. Debuggers
+// that declare no Capabilities anywhere in their unwrap chain are fully
+// capable.
+func CanWrite(d Debugger) bool {
+	if c, ok := capabilitiesOf(d); ok {
+		return c.CanWrite()
+	}
+	return true
+}
+
+// CanAlloc reports whether d's substrate accepts AllocTargetSpace.
+func CanAlloc(d Debugger) bool {
+	if c, ok := capabilitiesOf(d); ok {
+		return c.CanAlloc()
+	}
+	return true
+}
+
+// CanCall reports whether d's substrate accepts CallTargetFunc.
+func CanCall(d Debugger) bool {
+	if c, ok := capabilitiesOf(d); ok {
+		return c.CanCall()
+	}
+	return true
+}
+
+// ReadOnly reports whether d can neither write, allocate nor run target
+// code — the classification the serving layer uses to keep every query
+// against such a target on the shared read-lock fast path.
+func ReadOnly(d Debugger) bool {
+	c, ok := capabilitiesOf(d)
+	return ok && !c.CanWrite() && !c.CanAlloc() && !c.CanCall()
 }
 
 // Debugger is everything DUEL needs from a host debugger.

@@ -7,6 +7,7 @@
 package dbgiftest
 
 import (
+	"errors"
 	"testing"
 
 	"duel/internal/ctype"
@@ -37,6 +38,11 @@ type Fixture struct {
 }
 
 // Run exercises every method of the interface against the fixture.
+//
+// Mutating sections (memory writes, allocation, calls) are gated on the
+// target's declared dbgif.Capabilities: a read-only substrate such as a core
+// dump passes conformance by failing those operations with the typed
+// ErrReadOnlyTarget sentinel instead of performing them.
 func Run(t *testing.T, f Fixture) {
 	t.Helper()
 	d := f.D
@@ -70,15 +76,26 @@ func Run(t *testing.T, f Fixture) {
 		if b[0] != 42 {
 			t.Errorf("g bytes = %v", b)
 		}
-		if err := d.PutTargetBytes(f.G.Addr, []byte{99, 0, 0, 0}); err != nil {
-			t.Fatal(err)
+		if dbgif.CanWrite(d) {
+			if err := d.PutTargetBytes(f.G.Addr, []byte{99, 0, 0, 0}); err != nil {
+				t.Fatal(err)
+			}
+			b, _ = d.GetTargetBytes(f.G.Addr, 4)
+			if b[0] != 99 {
+				t.Error("write not visible")
+			}
+			// Restore for other subtests.
+			_ = d.PutTargetBytes(f.G.Addr, []byte{42, 0, 0, 0})
+		} else {
+			err := d.PutTargetBytes(f.G.Addr, []byte{99, 0, 0, 0})
+			if !errors.Is(err, dbgif.ErrReadOnlyTarget) {
+				t.Errorf("write to read-only target: err = %v, want ErrReadOnlyTarget", err)
+			}
+			b, _ = d.GetTargetBytes(f.G.Addr, 4)
+			if b[0] != 42 {
+				t.Error("failed write mutated the read-only target")
+			}
 		}
-		b, _ = d.GetTargetBytes(f.G.Addr, 4)
-		if b[0] != 99 {
-			t.Error("write not visible")
-		}
-		// Restore for other subtests.
-		_ = d.PutTargetBytes(f.G.Addr, []byte{42, 0, 0, 0})
 
 		if _, err := d.GetTargetBytes(0, 4); err == nil {
 			t.Error("NULL read succeeded")
@@ -111,6 +128,13 @@ func Run(t *testing.T, f Fixture) {
 	})
 
 	t.Run("alloc", func(t *testing.T) {
+		if !dbgif.CanAlloc(d) {
+			_, err := d.AllocTargetSpace(16, 8)
+			if !errors.Is(err, dbgif.ErrReadOnlyTarget) {
+				t.Errorf("alloc on read-only target: err = %v, want ErrReadOnlyTarget", err)
+			}
+			return
+		}
 		p1, err := d.AllocTargetSpace(16, 8)
 		if err != nil {
 			t.Fatal(err)
@@ -134,6 +158,14 @@ func Run(t *testing.T, f Fixture) {
 	})
 
 	t.Run("call", func(t *testing.T) {
+		if !dbgif.CanCall(d) {
+			arg := dbgif.Value{Type: a.Int, Bytes: []byte{21, 0, 0, 0}}
+			_, err := d.CallTargetFunc(f.Fn.Addr, []dbgif.Value{arg})
+			if !errors.Is(err, dbgif.ErrReadOnlyTarget) {
+				t.Errorf("call on read-only target: err = %v, want ErrReadOnlyTarget", err)
+			}
+			return
+		}
 		arg := dbgif.Value{Type: a.Int, Bytes: []byte{21, 0, 0, 0}}
 		out, err := d.CallTargetFunc(f.Fn.Addr, []dbgif.Value{arg})
 		if err != nil {

@@ -1,0 +1,86 @@
+package dbgif_test
+
+import (
+	"errors"
+	"testing"
+
+	"duel/internal/ctype"
+	"duel/internal/dbgif"
+	"duel/internal/fakedbg"
+	"duel/internal/faultdbg"
+	"duel/internal/memio"
+)
+
+// TestWrappersPreserveOptionalInterfaces pins the Unwrap convention: the
+// middleware layers (memio.Accessor, faultdbg.Injector) must forward both
+// optional interfaces — Interrupter by implementing it, Capabilities by
+// delegation — so stacking wrappers in any order never erases what the
+// substrate declared.
+func TestWrappersPreserveOptionalInterfaces(t *testing.T) {
+	f := fakedbg.New(ctype.LP64, 1<<12)
+	f.ReadOnly = true
+
+	chains := map[string]dbgif.Debugger{
+		"accessor(fake)":                  memio.New(f, memio.Config{}),
+		"injector(fake)":                  faultdbg.New(f, faultdbg.Plan{}),
+		"accessor(injector(fake))":        memio.New(faultdbg.New(f, faultdbg.Plan{}), memio.Config{}),
+		"injector(accessor(fake))":        faultdbg.New(memio.New(f, memio.Config{}), faultdbg.Plan{}),
+		"accessor(accessor(injector(f)))": memio.New(memio.New(faultdbg.New(f, faultdbg.Plan{}), memio.Config{}), memio.Config{}),
+	}
+	for name, d := range chains {
+		if _, ok := d.(dbgif.Interrupter); !ok {
+			t.Errorf("%s: Interrupter dropped by wrapper chain", name)
+		}
+		if _, ok := d.(dbgif.Capabilities); !ok {
+			t.Errorf("%s: Capabilities dropped by wrapper chain", name)
+		}
+		if dbgif.CanWrite(d) || dbgif.CanAlloc(d) || dbgif.CanCall(d) {
+			t.Errorf("%s: read-only substrate reported writable through the chain", name)
+		}
+		if !dbgif.ReadOnly(d) {
+			t.Errorf("%s: ReadOnly = false through the chain", name)
+		}
+	}
+
+	// A writable substrate stays writable through the same chains.
+	w := fakedbg.New(ctype.LP64, 1<<12)
+	wd := memio.New(faultdbg.New(w, faultdbg.Plan{}), memio.Config{})
+	if !dbgif.CanWrite(wd) || !dbgif.CanAlloc(wd) || !dbgif.CanCall(wd) || dbgif.ReadOnly(wd) {
+		t.Error("writable substrate lost capability through the chain")
+	}
+}
+
+// TestCapabilityDefaults pins the absence convention: a debugger that
+// declares no Capabilities anywhere is fully capable.
+func TestCapabilityDefaults(t *testing.T) {
+	var d dbgif.Debugger // nil: no Capabilities, no Wrapper
+	if !dbgif.CanWrite(d) || !dbgif.CanAlloc(d) || !dbgif.CanCall(d) {
+		t.Error("capability helpers must default to true without a declaration")
+	}
+	if dbgif.ReadOnly(d) {
+		t.Error("ReadOnly must default to false without a declaration")
+	}
+}
+
+// TestReadOnlyFaultsCarrySentinel pins that the typed sentinel survives the
+// memio fault-wrapping layer, so the evaluator can match it per element.
+func TestReadOnlyFaultsCarrySentinel(t *testing.T) {
+	f := fakedbg.New(ctype.LP64, 1<<12)
+	g := f.MustVar("g", f.A.Int)
+	f.ReadOnly = true
+	a := memio.New(f, memio.Config{})
+
+	if err := a.PutTargetBytes(g.Addr, []byte{1, 2, 3, 4}); !errors.Is(err, dbgif.ErrReadOnlyTarget) {
+		t.Errorf("PutTargetBytes error = %v, want ErrReadOnlyTarget", err)
+	}
+	if _, err := a.AllocTargetSpace(8, 8); !errors.Is(err, dbgif.ErrReadOnlyTarget) {
+		t.Errorf("AllocTargetSpace error = %v, want ErrReadOnlyTarget", err)
+	}
+	if _, err := a.CallTargetFunc(0x1000, nil); !errors.Is(err, dbgif.ErrReadOnlyTarget) {
+		t.Errorf("CallTargetFunc error = %v, want ErrReadOnlyTarget", err)
+	}
+	// Reads must be untouched by the read-only gate.
+	if _, err := a.GetTargetBytes(g.Addr, 4); err != nil {
+		t.Errorf("GetTargetBytes on read-only target failed: %v", err)
+	}
+}

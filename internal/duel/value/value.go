@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"duel/internal/ctype"
+	"duel/internal/dbgif"
 	"duel/internal/mem"
 	"duel/internal/memio"
 )
@@ -119,6 +120,9 @@ func PoisonOf(vs ...Value) (Value, bool) {
 func (v Value) ErrText() string {
 	if v.Err == nil {
 		return ""
+	}
+	if errors.Is(v.Err, dbgif.ErrReadOnlyTarget) {
+		return "read-only target"
 	}
 	var f *memio.Fault
 	if errors.As(v.Err, &f) {

@@ -15,9 +15,16 @@ import (
 
 // Fake is a flat-RAM debugger. The zero value is not usable; call New.
 type Fake struct {
-	A        *ctype.Arch
-	Base     uint64
-	RAM      []byte
+	A    *ctype.Arch
+	Base uint64
+	RAM  []byte
+	// ReadOnly freezes the fake into an immutable substrate, the shape of
+	// a core dump: PutTargetBytes, AllocTargetSpace and CallTargetFunc
+	// fail with dbgif.ErrReadOnlyTarget and the Capabilities interface
+	// reports all three off. Setup helpers (DefineVar, direct RAM writes)
+	// still work, so a test builds the image writable and then flips the
+	// flag — exactly how a process becomes a core.
+	ReadOnly bool
 	used     int
 	Vars     map[string]dbgif.VarInfo
 	Typedefs map[string]ctype.Type
@@ -51,7 +58,7 @@ func New(model ctype.Model, ramSize int) *Fake {
 // error (rather than panicking) when the RAM is exhausted, so a malformed
 // setup cannot kill the process hosting the session.
 func (f *Fake) DefineVar(name string, t ctype.Type) (dbgif.VarInfo, error) {
-	addr, err := f.AllocTargetSpace(t.Size(), t.Align())
+	addr, err := f.alloc(t.Size(), t.Align())
 	if err != nil {
 		return dbgif.VarInfo{}, fmt.Errorf("fakedbg: defining %q: %w", name, err)
 	}
@@ -84,6 +91,9 @@ func (f *Fake) GetTargetBytes(addr uint64, n int) ([]byte, error) {
 
 // PutTargetBytes implements dbgif.Debugger.
 func (f *Fake) PutTargetBytes(addr uint64, b []byte) error {
+	if f.ReadOnly {
+		return fmt.Errorf("fakedbg: write of %d at 0x%x: %w", len(b), addr, dbgif.ErrReadOnlyTarget)
+	}
 	if !f.ValidTargetAddr(addr, len(b)) {
 		return fmt.Errorf("fakedbg: invalid write of %d at 0x%x", len(b), addr)
 	}
@@ -98,6 +108,14 @@ func (f *Fake) ValidTargetAddr(addr uint64, n int) bool {
 
 // AllocTargetSpace implements dbgif.Debugger.
 func (f *Fake) AllocTargetSpace(n, align int) (uint64, error) {
+	if f.ReadOnly {
+		return 0, fmt.Errorf("fakedbg: alloc of %d: %w", n, dbgif.ErrReadOnlyTarget)
+	}
+	return f.alloc(n, align)
+}
+
+// alloc is AllocTargetSpace without the read-only gate, for setup helpers.
+func (f *Fake) alloc(n, align int) (uint64, error) {
 	if align < 1 {
 		align = 1
 	}
@@ -114,6 +132,9 @@ func (f *Fake) AllocTargetSpace(n, align int) (uint64, error) {
 
 // CallTargetFunc implements dbgif.Debugger.
 func (f *Fake) CallTargetFunc(addr uint64, args []dbgif.Value) (dbgif.Value, error) {
+	if f.ReadOnly {
+		return dbgif.Value{}, fmt.Errorf("fakedbg: call at 0x%x: %w", addr, dbgif.ErrReadOnlyTarget)
+	}
 	fn, ok := f.Funcs[addr]
 	if !ok {
 		return dbgif.Value{}, fmt.Errorf("fakedbg: no function at 0x%x", addr)
@@ -193,4 +214,16 @@ func (f *Fake) LookupEnumConst(name string) (ctype.Type, int64, bool) {
 	return nil, 0, false
 }
 
-var _ dbgif.Debugger = (*Fake)(nil)
+// CanWrite implements dbgif.Capabilities.
+func (f *Fake) CanWrite() bool { return !f.ReadOnly }
+
+// CanAlloc implements dbgif.Capabilities.
+func (f *Fake) CanAlloc() bool { return !f.ReadOnly }
+
+// CanCall implements dbgif.Capabilities.
+func (f *Fake) CanCall() bool { return !f.ReadOnly }
+
+var (
+	_ dbgif.Debugger     = (*Fake)(nil)
+	_ dbgif.Capabilities = (*Fake)(nil)
+)

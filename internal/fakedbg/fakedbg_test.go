@@ -12,6 +12,23 @@ import (
 // TestConformance runs the narrow-interface battery against the flat-RAM
 // fake, independently of the full debugger stack.
 func TestConformance(t *testing.T) {
+	dbgiftest.Run(t, conformanceFixture(t))
+}
+
+// TestConformanceReadOnly freezes the same fixture and re-runs the battery:
+// the capability-gated sections must flip to asserting ErrReadOnlyTarget
+// while the read-side conformance stays identical.
+func TestConformanceReadOnly(t *testing.T) {
+	fx := conformanceFixture(t)
+	fx.D.(*fakedbg.Fake).ReadOnly = true
+	if !dbgif.ReadOnly(fx.D) {
+		t.Fatal("frozen fake does not report itself read-only")
+	}
+	dbgiftest.Run(t, fx)
+}
+
+func conformanceFixture(t *testing.T) dbgiftest.Fixture {
+	t.Helper()
 	f := fakedbg.New(ctype.ILP32, 1<<16)
 	a := f.A
 
@@ -48,9 +65,9 @@ func TestConformance(t *testing.T) {
 		return dbgif.Value{Type: a.Int, Bytes: []byte{byte(v), 0, 0, 0}}, nil
 	}
 
-	dbgiftest.Run(t, dbgiftest.Fixture{
+	return dbgiftest.Fixture{
 		D: f, G: g, Arr: arr, Msg: msg, Pt: pt, Fn: fn, Pair: pair,
-	})
+	}
 }
 
 func TestFrameResolution(t *testing.T) {

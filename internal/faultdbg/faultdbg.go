@@ -225,6 +225,20 @@ func (i *Injector) arm(plan Plan) {
 // Disarm stops all injection (equivalent to arming the zero Plan).
 func (i *Injector) Disarm() { i.Arm(Plan{}) }
 
+// Unwrap implements dbgif.Wrapper, exposing the wrapped debugger so
+// optional interfaces (dbgif.Capabilities, ...) survive the injector.
+func (i *Injector) Unwrap() dbgif.Debugger { return i.Debugger }
+
+// CanWrite implements dbgif.Capabilities by delegation: injected sickness
+// does not change what the substrate below fundamentally supports.
+func (i *Injector) CanWrite() bool { return dbgif.CanWrite(i.Debugger) }
+
+// CanAlloc implements dbgif.Capabilities by delegation.
+func (i *Injector) CanAlloc() bool { return dbgif.CanAlloc(i.Debugger) }
+
+// CanCall implements dbgif.Capabilities by delegation.
+func (i *Injector) CanCall() bool { return dbgif.CanCall(i.Debugger) }
+
 // Armed reports whether the current plan can inject faults.
 func (i *Injector) Armed() bool {
 	i.mu.Lock()
@@ -420,6 +434,8 @@ func (i *Injector) hang() time.Duration {
 func (i *Injector) Arch() *ctype.Arch { return i.Debugger.Arch() }
 
 var (
-	_ dbgif.Debugger    = (*Injector)(nil)
-	_ dbgif.Interrupter = (*Injector)(nil)
+	_ dbgif.Debugger     = (*Injector)(nil)
+	_ dbgif.Interrupter  = (*Injector)(nil)
+	_ dbgif.Capabilities = (*Injector)(nil)
+	_ dbgif.Wrapper      = (*Injector)(nil)
 )

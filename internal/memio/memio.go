@@ -254,6 +254,21 @@ func New(d dbgif.Debugger, cfg Config) *Accessor {
 // Raw returns the wrapped host debugger.
 func (a *Accessor) Raw() dbgif.Debugger { return a.Debugger }
 
+// Unwrap implements dbgif.Wrapper, exposing the wrapped debugger so
+// optional interfaces (dbgif.Capabilities, and whatever comes next) survive
+// the wrapper chain instead of being erased by it.
+func (a *Accessor) Unwrap() dbgif.Debugger { return a.Debugger }
+
+// CanWrite implements dbgif.Capabilities by delegation: the accessor adds
+// instrumentation, not capability, so it answers with the chain below it.
+func (a *Accessor) CanWrite() bool { return dbgif.CanWrite(a.Debugger) }
+
+// CanAlloc implements dbgif.Capabilities by delegation.
+func (a *Accessor) CanAlloc() bool { return dbgif.CanAlloc(a.Debugger) }
+
+// CanCall implements dbgif.Capabilities by delegation.
+func (a *Accessor) CanCall() bool { return dbgif.CanCall(a.Debugger) }
+
 // Caching reports whether the page cache is enabled.
 func (a *Accessor) Caching() bool { return a.cfg.Cache }
 
@@ -659,6 +674,8 @@ func (a *Accessor) fault(op Op, addr uint64, n int, err error) error {
 }
 
 var (
-	_ dbgif.Debugger    = (*Accessor)(nil)
-	_ dbgif.Interrupter = (*Accessor)(nil)
+	_ dbgif.Debugger     = (*Accessor)(nil)
+	_ dbgif.Interrupter  = (*Accessor)(nil)
+	_ dbgif.Capabilities = (*Accessor)(nil)
+	_ dbgif.Wrapper      = (*Accessor)(nil)
 )

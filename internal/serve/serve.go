@@ -669,7 +669,17 @@ func MutatesTarget(n *ast.Node) bool { return mutatesTarget(n, nil) }
 // shadow the name with its own variable, mirroring Env.evalCall) and no
 // longer force the exclusive target lock. The serving layer classifies with
 // this form so plain read queries never serialize writers-style.
-func MutatesTargetFor(n *ast.Node, d dbgif.Debugger) bool { return mutatesTarget(n, d) }
+//
+// A target that declares itself read-only (dbgif.ReadOnly — a core dump,
+// say) cannot be mutated by any query: every write-shaped construct fails
+// with ErrReadOnlyTarget before touching memory. Classifying everything as
+// non-mutating keeps the whole workload on the shared read lock.
+func MutatesTargetFor(n *ast.Node, d dbgif.Debugger) bool {
+	if d != nil && dbgif.ReadOnly(d) {
+		return false
+	}
+	return mutatesTarget(n, d)
+}
 
 func mutatesTarget(n *ast.Node, d dbgif.Debugger) bool {
 	if n == nil {

@@ -929,6 +929,25 @@ func TestMutatesTargetNarrowing(t *testing.T) {
 	}
 }
 
+// TestMutatesTargetReadOnly: against a target that declares itself
+// read-only, no query can mutate anything — every write-shaped construct
+// fails with the typed sentinel before touching memory — so the classifier
+// keeps the entire workload on the shared read lock.
+func TestMutatesTargetReadOnly(t *testing.T) {
+	f := buildDebuggee(t)
+	f.ReadOnly = true
+	ses := duel.MustNewSession(f)
+	for _, src := range []string{"x[0]", "x[0] = 1", "x[0]++", "int i;", "twice(1)", "\"abc\"[1]"} {
+		n, err := ses.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if MutatesTargetFor(n, f) {
+			t.Errorf("MutatesTargetFor(%q) = true on a read-only target, want false", src)
+		}
+	}
+}
+
 // TestEpochFlushCoherence: with the page cache ON, a mutating query must
 // invalidate what every pooled session has cached — lazily, via the write
 // epoch — so concurrent readers never serve pre-write bytes. Several
