@@ -329,10 +329,24 @@ func (s *Session) EvalNode(n *ast.Node, f func(Result) error) error {
 
 // EvalNodeContext is EvalNode with caller-controlled cancellation. It
 // acquires the session's evaluation lock: concurrent callers serialize, and
-// each evaluation observes the alias table and caches quiesced.
+// each evaluation observes the alias table and caches quiesced. A context
+// that is already dead fails fast — both before queueing on the lock and
+// again after acquiring it, so a query whose deadline lapsed while it waited
+// behind another evaluation never starts driving the memory chain. Either
+// way the abort surfaces as a *core.CanceledError carrying context.Cause.
 func (s *Session) EvalNodeContext(ctx context.Context, n *ast.Node, f func(Result) error) error {
+	if ctx != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			return &core.CanceledError{Cause: cause}
+		}
+	}
 	s.evalMu.Lock()
 	defer s.evalMu.Unlock()
+	if ctx != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			return &core.CanceledError{Cause: cause}
+		}
+	}
 	return s.evalNodeLocked(ctx, n, f)
 }
 

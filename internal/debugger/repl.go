@@ -280,6 +280,7 @@ func (r *REPL) help() {
                        callfail callhang all; seed= after= limit= delay= hang=)
   serve [w [n]] <expr>  run n copies of a query through a w-worker
                       evaluation server and report concurrent throughput
+                      (knobs: hedge=on|off retry=on|off deadline=dur)
   counters            evaluation statistics
   stats               last-eval time, compile-cache and prefetch report
   quit
@@ -318,9 +319,12 @@ func (r *REPL) cmdStats() {
 // the REPL's current fault plan, reseeded per session — and reports
 // concurrent throughput and the server's admission stats.
 //
-//	serve [workers [n]] <duel-expression>
+// Resilience knobs ride along as key=value options between the numeric
+// arguments and the expression: hedge=on|off, retry=on|off, deadline=dur.
+//
+//	serve [workers [n]] [hedge=on|off retry=on|off deadline=dur] <duel-expression>
 func (r *REPL) cmdServe(rest string) error {
-	const usage = "usage: serve [workers [n]] <expression>"
+	const usage = "usage: serve [workers [n]] [hedge=on|off retry=on|off deadline=dur] <expression>"
 	if r.running || r.evalDepth > 0 {
 		return fmt.Errorf("serve is unavailable while the program is running")
 	}
@@ -344,17 +348,53 @@ func (r *REPL) cmdServe(rest string) error {
 	if len(nums) > 1 {
 		n = nums[1]
 	}
+
+	// key=value resilience knobs. An unknown key falls through to the
+	// expression — "x=5" is a DUEL assignment, not an option.
+	var hedge serve.HedgeConfig
+	var retry serve.RetryConfig
+	var deadline time.Duration
+opts:
+	for len(fields) > 0 {
+		eq := strings.IndexByte(fields[0], '=')
+		if eq < 0 {
+			break
+		}
+		key, val := fields[0][:eq], fields[0][eq+1:]
+		switch key {
+		case "hedge", "retry":
+			on, err := parseOnOff(val)
+			if err != nil {
+				return fmt.Errorf("serve: %s=%s: %w", key, val, err)
+			}
+			if key == "hedge" {
+				hedge.Enabled = on
+			} else {
+				retry.Disabled = !on
+			}
+		case "deadline":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("serve: bad deadline %q (want a positive duration)", val)
+			}
+			deadline = d
+		default:
+			break opts
+		}
+		fields = fields[1:]
+	}
+
 	expr := strings.Join(fields, " ")
 	if strings.TrimSpace(expr) == "" {
 		return fmt.Errorf(usage)
 	}
 
-	opts := r.Ses.Options()
+	sopts := r.Ses.Options()
 	plan := r.Inj.CurrentPlan()
-	srv := serve.New(serve.Config{Workers: workers, Session: opts})
+	srv := serve.New(serve.Config{Workers: workers, Session: sopts, Hedge: hedge, Retry: retry})
 	var lane atomic.Int64
 	srv.RegisterFactory("repl", func() (*duel.Session, error) {
-		return duel.NewSession(faultdbg.New(r.Dbg, plan.Derive(lane.Add(1))), opts)
+		return duel.NewSession(faultdbg.New(r.Dbg, plan.Derive(lane.Add(1))), sopts)
 	})
 
 	ctx := context.Background()
@@ -368,7 +408,11 @@ func (r *REPL) cmdServe(rest string) error {
 		go func(count int) {
 			defer wg.Done()
 			for i := 0; i < count; i++ {
-				if _, err := srv.Eval(ctx, "repl", expr); err != nil {
+				var opt serve.SubmitOptions
+				if deadline > 0 {
+					opt.Deadline = time.Now().Add(deadline)
+				}
+				if _, err := srv.EvalWith(ctx, "repl", expr, opt); err != nil {
 					failed.Add(1)
 					s := err.Error()
 					firstErr.CompareAndSwap(nil, &s)
@@ -390,10 +434,23 @@ func (r *REPL) cmdServe(rest string) error {
 		st.Completed, elapsed.Round(time.Microsecond), workers, qps)
 	r.printf("admission: %d admitted, %d shed, %d refused by breaker, %d trips; %d evaluations failed\n",
 		st.Admitted, st.Shed, st.FastFails, st.Trips, failed.Load())
+	r.printf("resilience: %d deadline-expired, %d retried, %d hedged (%d wins), %d quarantined\n",
+		st.DeadlineExpired, st.Retried, st.Hedged, st.HedgeWins, st.Quarantined)
 	if e := firstErr.Load(); e != nil {
 		r.printf("first failure: %s\n", *e)
 	}
 	return nil
+}
+
+// parseOnOff parses the REPL's boolean option syntax.
+func parseOnOff(val string) (bool, error) {
+	switch val {
+	case "on":
+		return true, nil
+	case "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("want on or off")
 }
 
 // duelHelp prints the operator summary the bare "duel" command shows,

@@ -602,9 +602,34 @@ func TestServeCommand(t *testing.T) {
 		"with 2 workers",
 		"admission: 8 admitted, 0 shed",
 		"0 evaluations failed",
+		"resilience: 0 deadline-expired",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("serve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeCommandKnobs: the resilience knobs parse between the numeric
+// arguments and the expression, hedging shows up in the resilience line, a
+// generous deadline sheds nothing, and a bad knob value is a typed error
+// instead of a mis-parsed expression.
+func TestServeCommandKnobs(t *testing.T) {
+	out := runScript(t, listProgram,
+		"run",
+		"serve 2 8 hedge=on retry=off deadline=10s head-->next->v",
+		"serve 1 1 hedge=maybe head",
+		"quit",
+	)
+	for _, want := range []string{
+		"served 8 queries",
+		"admission: 8 admitted, 0 shed",
+		"0 evaluations failed",
+		"resilience: 0 deadline-expired, 0 retried,",
+		"serve: hedge=maybe: want on or off",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serve knob output missing %q:\n%s", want, out)
 		}
 	}
 }

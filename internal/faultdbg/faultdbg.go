@@ -133,6 +133,26 @@ func (p Plan) Derive(i int64) Plan {
 	return p
 }
 
+// DeriveTarget returns a copy of the plan reseeded for a named chaos lane,
+// the string-keyed analog of Derive: a serve-level soak holds one base plan
+// and gives every registered target its own reproducible dice stream keyed
+// by the target's name. FNV-1a folds the name; the golden-ratio multiply
+// then spreads it exactly like Derive spreads lane indices, so
+// DeriveTarget(name).Derive(lane) still yields per-target-per-lane streams.
+func (p Plan) DeriveTarget(name string) Plan {
+	const (
+		offset64 = 0xCBF29CE484222325
+		prime64  = 0x100000001B3
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	p.Seed ^= int64(h * 0x9E3779B97F4A7C15)
+	return p
+}
+
 // Stats counts an Injector's traffic and injections.
 type Stats struct {
 	Ops      int64 // interface operations seen (reads, writes, allocs, calls)

@@ -306,3 +306,35 @@ func TestConformanceTransparent(t *testing.T) {
 		D: faultdbg.New(f, faultdbg.Plan{}), G: g, Arr: arr, Msg: msg, Pt: pt, Fn: fn, Pair: pair,
 	})
 }
+
+// TestDeriveTarget pins the per-target chaos-lane derivation: deterministic
+// for a given name, distinct across names, and composable with per-goroutine
+// Derive so a serve soak gets independent dice per (target, lane) pair.
+func TestDeriveTarget(t *testing.T) {
+	base := faultdbg.Plan{Seed: 42, Rates: map[faultdbg.Kind]float64{faultdbg.Transient: 1}, Limit: 3}
+
+	a1 := base.DeriveTarget("alpha")
+	a2 := base.DeriveTarget("alpha")
+	b := base.DeriveTarget("beta")
+	if a1.Seed != a2.Seed {
+		t.Fatalf("DeriveTarget not deterministic: %d vs %d", a1.Seed, a2.Seed)
+	}
+	if a1.Seed == b.Seed || a1.Seed == base.Seed {
+		t.Fatalf("DeriveTarget seeds not distinct: alpha=%d beta=%d base=%d", a1.Seed, b.Seed, base.Seed)
+	}
+	if a1.Limit != base.Limit || len(a1.Rates) != len(base.Rates) {
+		t.Fatalf("DeriveTarget changed more than the seed: %+v", a1)
+	}
+
+	// Composition: per-target then per-lane stays pairwise distinct.
+	seeds := map[int64]string{base.Seed: "base"}
+	for _, name := range []string{"alpha", "beta"} {
+		for lane := int64(0); lane < 3; lane++ {
+			s := base.DeriveTarget(name).Derive(lane).Seed
+			if prev, dup := seeds[s]; dup {
+				t.Fatalf("seed collision: %s/lane%d vs %s", name, lane, prev)
+			}
+			seeds[s] = name
+		}
+	}
+}

@@ -134,6 +134,34 @@ func IsTransient(err error) bool {
 	return errors.Is(err, ErrTransient)
 }
 
+// RetryExhaustedError marks a transient fault that survived the accessor's
+// entire retry schedule: every attempt the Config.Retries budget allowed came
+// back transient, so the fault was surfaced instead of absorbed. Layers with
+// a wider view than one memory operation key their own retry policies on it —
+// internal/serve re-runs whole read-only queries on a fresh session under a
+// token-bucket budget exactly when the failure is this one, as opposed to a
+// permanent fault (unmapped, short) that a re-run cannot fix, or an interrupt
+// (the caller's own cancellation) that must not be fought.
+type RetryExhaustedError struct {
+	Attempts int   // attempts issued: the first try plus every retry
+	Err      error // the final transient failure
+}
+
+func (e *RetryExhaustedError) Error() string {
+	return fmt.Sprintf("transient retries exhausted after %d attempts: %v", e.Attempts, e.Err)
+}
+
+func (e *RetryExhaustedError) Unwrap() error { return e.Err }
+
+// IsRetryExhausted reports whether err carries a RetryExhaustedError — the
+// signal that the accessor already spent its whole per-operation retry
+// schedule on a transient fault and another immediate low-level retry is
+// pointless, but a coarser-grained retry (a fresh query attempt) may not be.
+func IsRetryExhausted(err error) bool {
+	var re *RetryExhaustedError
+	return errors.As(err, &re)
+}
+
 // Fault is the typed error for a failed target-memory operation. It replaces
 // the host debuggers' ad-hoc error strings at the memio boundary; callers
 // that need to distinguish an unmapped read from a short read use errors.As
@@ -338,10 +366,14 @@ func (a *Accessor) interruptedErr(op Op, addr uint64, n int) error {
 }
 
 // withRetry runs do, retrying transient faults (IsTransient) with capped
-// exponential backoff. Non-transient errors and exhausted retries surface
-// unchanged; an Interrupt request stops retrying immediately — including
-// mid-backoff, so a canceled query is not pinned to the remainder of a
-// sleep it started before the interrupt landed.
+// exponential backoff. Non-transient errors surface unchanged; a transient
+// fault that outlasts the whole schedule surfaces wrapped in a
+// RetryExhaustedError so coarser layers can distinguish "retried and still
+// transient" from permanent faults. An Interrupt request stops retrying
+// immediately — including mid-backoff, so a canceled query is not pinned to
+// the remainder of a sleep it started before the interrupt landed — and
+// surfaces the raw fault, NOT an exhaustion: an interrupted schedule was
+// abandoned, not spent, and must not invite a higher-level retry.
 func (a *Accessor) withRetry(do func() error) error {
 	backoff := a.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
@@ -350,8 +382,11 @@ func (a *Accessor) withRetry(do func() error) error {
 			return err
 		}
 		a.stats.Transients++
-		if attempt >= a.cfg.Retries || a.interrupted.Load() {
+		if a.interrupted.Load() {
 			return err
+		}
+		if attempt >= a.cfg.Retries {
+			return &RetryExhaustedError{Attempts: attempt + 1, Err: err}
 		}
 		a.stats.Retries++
 		t := time.NewTimer(backoff)

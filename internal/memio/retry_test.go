@@ -65,6 +65,16 @@ func TestTransientRetryExhausted(t *testing.T) {
 	if !memio.IsTransient(err) {
 		t.Fatalf("surfaced error is not IsTransient: %v", err)
 	}
+	var re *memio.RetryExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("exhausted schedule not marked RetryExhaustedError: %v", err)
+	}
+	if re.Attempts != 4 {
+		t.Fatalf("exhaustion records %d attempts, want 4 (1 try + 3 retries)", re.Attempts)
+	}
+	if !memio.IsRetryExhausted(err) {
+		t.Fatalf("IsRetryExhausted = false for %v", err)
+	}
 	s := a.Stats()
 	if s.Transients != 4 || s.Retries != 3 {
 		t.Fatalf("stats = transients %d retries %d, want 4/3 (1 try + 3 retries)", s.Transients, s.Retries)
@@ -95,6 +105,9 @@ func TestPermanentFaultNotRetried(t *testing.T) {
 	}
 	if s := a.Stats(); s.Transients != 0 || s.Retries != 0 {
 		t.Fatalf("permanent fault counted as transient: %+v", s)
+	}
+	if memio.IsRetryExhausted(err) {
+		t.Fatalf("permanent fault marked retry-exhausted: %v", err)
 	}
 }
 
@@ -133,6 +146,11 @@ func TestInterruptCutsRetryLoop(t *testing.T) {
 	case err := <-done:
 		if !memio.IsTransient(err) && !errors.Is(err, memio.ErrInterrupted) {
 			t.Fatalf("cut retry loop returned %v", err)
+		}
+		// An abandoned schedule is not a spent one: the interrupt cut it
+		// short, so the error must NOT invite a higher-level retry.
+		if memio.IsRetryExhausted(err) {
+			t.Fatalf("interrupted retry loop marked exhausted: %v", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Interrupt did not stop the retry loop")

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// hedge.go: hedged read-only queries.
+//
+// Tail latency on a shared target is dominated by stragglers: one query
+// lands behind a mutating query's exclusive lock, a transient-retry backoff,
+// or an injected latency fault, while an identical attempt on another worker
+// would return in microseconds. Hedging is the standard counter: after an
+// adaptive delay (a multiple of the target's recent latency, so the common
+// case never hedges), fire a second attempt; first result wins and the
+// loser is canceled through its context. Only read-only queries hedge —
+// a mutating query must execute exactly once, so the worker refuses a hedge
+// attempt the moment classification finds a write (errHedgeMutating), and
+// correctness does not depend on the submit-side AST guess.
+
+// Hedging defaults. Hedging is opt-in (Config.Hedge.Enabled or per-query
+// HedgeOn); these tune the adaptive delay once it is on.
+const (
+	DefaultHedgeFactor   = 3 // delay = Factor × recent mean latency
+	DefaultHedgeMinDelay = 250 * time.Microsecond
+	DefaultHedgeMaxDelay = 50 * time.Millisecond
+	latencyEWMAWeight    = 8
+)
+
+// HedgeConfig tunes hedged reads.
+type HedgeConfig struct {
+	// Enabled turns hedging on for every read-only query (per-query
+	// SubmitOptions.Hedge overrides it either way).
+	Enabled bool
+	// Delay pins the hedge delay. 0 derives it adaptively: Factor × the
+	// target's recent latency EWMA, clamped to [MinDelay, MaxDelay].
+	Delay time.Duration
+	// Factor scales the adaptive delay (0 means DefaultHedgeFactor).
+	Factor int
+	// MinDelay/MaxDelay clamp the adaptive delay (0 means the defaults).
+	MinDelay time.Duration
+	MaxDelay time.Duration
+}
+
+// HedgeMode is a per-query hedging override.
+type HedgeMode int
+
+const (
+	// HedgeAuto follows the server's Config.Hedge.Enabled.
+	HedgeAuto HedgeMode = iota
+	// HedgeOn hedges this query (still refused per-attempt if it turns out
+	// to mutate the target).
+	HedgeOn
+	// HedgeOff never hedges this query.
+	HedgeOff
+)
+
+// delayFor computes the hedge delay given the target's recent latency.
+func (c HedgeConfig) delayFor(recent time.Duration) time.Duration {
+	if c.Delay > 0 {
+		return c.Delay
+	}
+	d := time.Duration(c.Factor) * recent
+	if d < c.MinDelay {
+		d = c.MinDelay
+	}
+	if d > c.MaxDelay {
+		d = c.MaxDelay
+	}
+	return d
+}
+
+// latencyEWMA tracks a target's recent clean-completion latency, feeding the
+// adaptive hedge delay. Lossy atomic, like the health score: a dropped
+// sample shifts the hedge delay by a fraction, nothing more.
+type latencyEWMA struct{ ns atomic.Int64 }
+
+func (l *latencyEWMA) observe(d time.Duration) {
+	old := l.ns.Load()
+	if old == 0 {
+		l.ns.Store(int64(d))
+		return
+	}
+	l.ns.Store(old + (int64(d)-old)/latencyEWMAWeight)
+}
+
+func (l *latencyEWMA) load() time.Duration { return time.Duration(l.ns.Load()) }

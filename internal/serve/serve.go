@@ -27,6 +27,29 @@
 //   - Graceful drain. Shutdown stops admissions, lets admitted queries
 //     finish, and past the caller's deadline revokes what is still running;
 //     it leaks no goroutines either way.
+//   - Deadline propagation. A per-query deadline (SubmitOptions.Deadline or
+//     the caller's context) rides the job through the queue: a query whose
+//     deadline lapses while queued is shed with ErrDeadlineExceeded before
+//     a worker acquires a session or the target lock, and one that makes it
+//     out evaluates under a context carrying the deadline, so expiry
+//     mid-eval cancels the evaluator AND interrupts the memory chain.
+//   - Retry budgets. Transient infrastructure failures — a memio retry
+//     schedule spent to exhaustion, a breaker half-open rejection — are
+//     retried once at the serve layer under a per-target token-bucket
+//     budget (retry.go): isolated faults heal invisibly, correlated storms
+//     drain the bucket and degrade to single attempts instead of doubling
+//     the load on a sick target.
+//   - Hedged reads. Opt-in (Config.Hedge / SubmitOptions.Hedge): a
+//     read-only query fires a second attempt on another worker after an
+//     adaptive delay derived from the target's recent latency; the first
+//     result wins, the loser is canceled through its context, and the pair
+//     counts as exactly one admission and one completion (hedge.go).
+//   - Target health: brownout before quarantine. A per-target score fed by
+//     infra-failure and latency signals generalizes the breaker
+//     (health.go): a degraded target first browns out — mutating queries
+//     shed with ErrBrownout while read-only ones keep flowing under the
+//     shared read lock — and only a truly sick one quarantines, failing
+//     fast with ErrQuarantined until a periodic probe completes cleanly.
 //
 // Sessions are pooled per target: a duel.Session evaluates one expression
 // at a time (its name-resolution stack and step budget are per-evaluation
@@ -85,6 +108,17 @@ var (
 	ErrCircuitOpen = errors.New("serve: circuit open, failing fast")
 	// ErrUnknownTarget: no target registered under that name.
 	ErrUnknownTarget = errors.New("serve: unknown target")
+	// ErrDeadlineExceeded: the query's deadline lapsed while it sat in the
+	// queue; it was shed before touching a session or the target lock. It
+	// matches errors.Is(err, context.DeadlineExceeded) too, so callers that
+	// only know about contexts classify it correctly.
+	ErrDeadlineExceeded = fmt.Errorf("serve: deadline exceeded while queued: %w", context.DeadlineExceeded)
+	// ErrQuarantined: the target's health score collapsed; everything but
+	// periodic probes fails fast until a probe completes cleanly.
+	ErrQuarantined = errors.New("serve: target quarantined, failing fast")
+	// ErrBrownout: the target is degraded; mutating queries are shed while
+	// read-only ones keep being served.
+	ErrBrownout = errors.New("serve: target browned out, mutating query shed")
 )
 
 // Serving defaults, chosen so a zero Config yields a usable server: enough
@@ -114,8 +148,20 @@ type Config struct {
 	Session duel.Options
 	// Breaker tunes the per-target circuit breakers.
 	Breaker BreakerConfig
+	// Retry tunes the serve-layer retry budget (see retry.go). The zero
+	// value enables retries with the defaults; set Retry.Disabled to opt
+	// out.
+	Retry RetryConfig
+	// Hedge tunes hedged read-only queries (see hedge.go). Hedging is off
+	// unless Hedge.Enabled is set or a query asks with HedgeOn.
+	Hedge HedgeConfig
+	// Health tunes per-target health tracking with brownout and quarantine
+	// (see health.go). The zero value enables tracking with the defaults;
+	// set Health.Disabled to opt out.
+	Health HealthConfig
 
-	// now overrides the breaker clock in tests.
+	// now overrides the serving clock (breaker cooldowns, queue-deadline
+	// checks, health probe cadence) in tests.
 	now func() time.Time
 }
 
@@ -130,17 +176,34 @@ type Stats struct {
 	Drained   int64 // refused with ErrDraining, or canceled while queued
 	FastFails int64 // refused with ErrCircuitOpen
 	Trips     int64 // breaker trips
+
+	DeadlineExpired int64 // shed in queue with ErrDeadlineExceeded
+	Retried         int64 // serve-layer retry attempts issued under the budget
+	Hedged          int64 // hedge attempts enqueued
+	HedgeWins       int64 // hedged pairs whose hedge attempt won
+	Quarantined     int64 // target transitions into quarantine
+	QuarantineFails int64 // queries refused with ErrQuarantined
+	Brownouts       int64 // target transitions into brownout
+	BrownoutSheds   int64 // mutating queries shed with ErrBrownout
 }
 
 // liveStats is the server's hot counter set. Plain atomics instead of a
 // mutex-guarded struct: the two bumps per query (admit, complete) were the
-// first serializer the mutex profile named on the read path.
+// first serializer the mutex profile named on the read path. A hedged or
+// retried query bumps admitted/completed exactly once — extra attempts are
+// accounted only in the retried/hedged counters — so Completed can never
+// outrun Admitted however many attempts a query spawned.
 type liveStats struct {
 	admitted  atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
 	shed      atomic.Int64
 	drained   atomic.Int64
+
+	deadlineExpired atomic.Int64
+	retried         atomic.Int64
+	hedged          atomic.Int64
+	hedgeWins       atomic.Int64
 }
 
 type serverState int
@@ -186,6 +249,9 @@ type targetState struct {
 	name    string
 	factory func() (*duel.Session, error)
 	brk     *breaker
+	health  *health
+	retry   *retryBudget
+	lat     latencyEWMA // recent clean-completion latency (hedge delay)
 
 	// rw lets read-only queries share the target; mutating queries take it
 	// exclusively (the substrate below the sessions is unsynchronized).
@@ -232,23 +298,34 @@ type affinity struct {
 	ps *pooledSession
 }
 
-// job is one admitted query. Jobs are recycled through jobPool; the done
-// channel is created once per job object and reused (it is always drained
-// by exactly one submitter before the job is returned to the pool).
+// job is one attempt of an admitted query. Jobs are recycled through
+// jobPool; the done channel is created once per job object and reused (it
+// is always drained by exactly one submitter before the job is returned to
+// the pool). ran/mutated are written by the worker before the done send and
+// read by the submitter after the done receive — the channel's
+// happens-before edge is their synchronization.
 type job struct {
-	ctx   context.Context
-	t     *targetState
-	src   string
-	emit  func(duel.Result) error
-	probe bool // this query is its target's half-open breaker probe
-	done  chan error
+	ctx         context.Context
+	t           *targetState
+	src         string
+	emit        func(duel.Result) error
+	deadline    time.Time // zero = none; checked again at pickup
+	probe       bool      // this attempt is its target's half-open breaker probe
+	healthProbe bool      // this attempt is its target's quarantine probe
+	hedge       bool      // this attempt is the hedge of a pair
+	counted     bool      // this attempt carries the query's Admitted count
+	ran         bool      // worker → submitter: the evaluation actually ran
+	mutated     bool      // worker → submitter: classified as mutating
+	done        chan error
 }
 
 var jobPool = sync.Pool{New: func() any { return &job{done: make(chan error, 1)} }}
 
 // putJob clears the job's references and returns it to the pool.
 func putJob(j *job) {
-	j.ctx, j.t, j.src, j.emit, j.probe = nil, nil, "", nil, false
+	j.ctx, j.t, j.src, j.emit = nil, nil, "", nil
+	j.deadline = time.Time{}
+	j.probe, j.healthProbe, j.hedge, j.counted, j.ran, j.mutated = false, false, false, false, false, false
 	jobPool.Put(j)
 }
 
@@ -271,6 +348,18 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Session.Eval.Timeout == 0 {
 		cfg.Session.Eval.Timeout = DefaultTimeout
+	}
+	if cfg.Hedge.Factor <= 0 {
+		cfg.Hedge.Factor = DefaultHedgeFactor
+	}
+	if cfg.Hedge.MinDelay <= 0 {
+		cfg.Hedge.MinDelay = DefaultHedgeMinDelay
+	}
+	if cfg.Hedge.MaxDelay <= 0 {
+		cfg.Hedge.MaxDelay = DefaultHedgeMaxDelay
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -305,6 +394,8 @@ func (s *Server) RegisterFactory(name string, factory func() (*duel.Session, err
 		name:    name,
 		factory: factory,
 		brk:     newBreaker(s.cfg.Breaker, s.cfg.now),
+		health:  newHealth(s.cfg.Health, s.cfg.now),
+		retry:   newRetryBudget(s.cfg.Retry),
 	}
 	s.targetMu.Lock()
 	s.targets[name] = t
@@ -332,6 +423,16 @@ func (s *Server) BreakerState(name string) (BreakerState, error) {
 	return st, nil
 }
 
+// TargetHealth reports the named target's health state.
+func (s *Server) TargetHealth(name string) (HealthState, error) {
+	t, err := s.lookup(name)
+	if err != nil {
+		return TargetHealthy, err
+	}
+	st, _, _, _, _ := t.health.snapshot()
+	return st, nil
+}
+
 // Stats snapshots the server's counters. The snapshot always satisfies
 // Completed <= Admitted: every query increments Admitted strictly before it
 // can be picked up by a worker, and the loads below read Completed before
@@ -344,23 +445,49 @@ func (s *Server) Stats() Stats {
 	st.Shed = s.stats.shed.Load()
 	st.Drained = s.stats.drained.Load()
 	st.Admitted = s.stats.admitted.Load()
+	st.DeadlineExpired = s.stats.deadlineExpired.Load()
+	st.Retried = s.stats.retried.Load()
+	st.Hedged = s.stats.hedged.Load()
+	st.HedgeWins = s.stats.hedgeWins.Load()
 	s.targetMu.RLock()
 	for _, t := range s.targets {
 		_, trips, fastFails := t.brk.snapshot()
 		st.Trips += trips
 		st.FastFails += fastFails
+		_, quarantines, qFails, brownouts, bSheds := t.health.snapshot()
+		st.Quarantined += quarantines
+		st.QuarantineFails += qFails
+		st.Brownouts += brownouts
+		st.BrownoutSheds += bSheds
 	}
 	s.targetMu.RUnlock()
 	return st
+}
+
+// SubmitOptions carries per-query serving policy.
+type SubmitOptions struct {
+	// Deadline bounds the query end to end, queue time included: if it
+	// lapses while the query is queued the query is shed with
+	// ErrDeadlineExceeded without touching a session or the target lock,
+	// and once running the evaluation executes under a context carrying
+	// min(Deadline, ctx's own deadline). Zero means no extra deadline.
+	Deadline time.Time
+	// Hedge overrides the server's hedging policy for this query.
+	Hedge HedgeMode
 }
 
 // Eval evaluates src against the named target, collecting all produced
 // values. It blocks until the query completes, is shed, or is canceled;
 // canceling ctx revokes the query even mid-evaluation.
 func (s *Server) Eval(ctx context.Context, target, src string) ([]duel.Result, error) {
+	return s.EvalWith(ctx, target, src, SubmitOptions{})
+}
+
+// EvalWith is Eval with per-query serving options.
+func (s *Server) EvalWith(ctx context.Context, target, src string, opt SubmitOptions) ([]duel.Result, error) {
 	var mu sync.Mutex
 	var out []duel.Result
-	err := s.submit(ctx, target, src, func(r duel.Result) error {
+	err := s.SubmitContext(ctx, target, src, opt, func(r duel.Result) error {
 		mu.Lock()
 		out = append(out, r)
 		mu.Unlock()
@@ -378,7 +505,7 @@ func (s *Server) Exec(ctx context.Context, target string, w io.Writer, src strin
 	maxOut := s.cfg.Session.MaxOutput
 	var buf bytes.Buffer
 	count := 0
-	err := s.submit(ctx, target, src, func(r duel.Result) error {
+	err := s.SubmitContext(ctx, target, src, SubmitOptions{}, func(r duel.Result) error {
 		count++
 		if maxOut > 0 && count > maxOut {
 			fmt.Fprintf(&buf, "... (output truncated at %d lines)\n", maxOut)
@@ -405,10 +532,25 @@ func (s *Server) Exec(ctx context.Context, target string, w io.Writer, src strin
 // failure.
 var errTruncated = errors.New("serve: output truncated")
 
-// submit runs one query through admission, the queue, and a worker. emit is
-// called from the worker goroutine; the happens-before edge of the done
-// channel makes whatever it wrote visible to the caller afterwards.
-func (s *Server) submit(ctx context.Context, target, src string, emit func(duel.Result) error) error {
+// queryOutcome is the submitter-side result of one (or, hedged, a pair of)
+// attempts: the error to surface plus what the worker learned about the
+// query on the way.
+type queryOutcome struct {
+	err     error
+	ran     bool // some attempt actually evaluated (vs shed/refused)
+	mutated bool
+	buf     []duel.Result // hedged only: the winning attempt's transcript
+}
+
+// SubmitContext runs one query through admission, the queue, and a worker,
+// applying the server's resilience policies: the per-query deadline rides
+// the job, a transient infra failure may be retried once under the target's
+// retry budget, and a read-only query may be hedged. emit is called from
+// the worker goroutine (or, hedged, replayed from this one); the
+// happens-before edge of the done channel makes its writes visible to the
+// caller afterwards. However many attempts this spawns, the query counts as
+// at most one admission and at most one completion.
+func (s *Server) SubmitContext(ctx context.Context, target, src string, opt SubmitOptions, emit func(duel.Result) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -416,45 +558,258 @@ func (s *Server) submit(ctx context.Context, target, src string, emit func(duel.
 	if err != nil {
 		return err
 	}
+	deadline := opt.Deadline
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
 
-	s.admitMu.RLock()
-	if s.state != stateServing {
-		s.admitMu.RUnlock()
-		s.stats.drained.Add(1)
-		return ErrDraining
+	// Count results delivered to the caller: a retry is only safe while
+	// the caller has seen nothing (a re-run would duplicate output).
+	emitted := 0
+	countEmit := func(r duel.Result) error {
+		emitted++
+		return emit(r)
 	}
-	probe, err := t.brk.admit()
-	if err != nil {
-		s.admitMu.RUnlock()
-		return fmt.Errorf("target %q: %w", target, err)
+
+	hedge := s.cfg.Hedge.Enabled
+	switch opt.Hedge {
+	case HedgeOn:
+		hedge = true
+	case HedgeOff:
+		hedge = false
 	}
-	j := jobPool.Get().(*job)
-	j.ctx, j.t, j.src, j.emit, j.probe = ctx, t, src, emit, probe
-	// Count the admission before the enqueue: once the job is in the
-	// queue a worker can complete it at any moment, and a Stats snapshot
-	// taken in that window used to show Completed > Admitted. A query
-	// that turns out to be shed rolls its increment back below.
-	s.stats.admitted.Add(1)
-	select {
-	case s.queue <- j:
-		s.admitMu.RUnlock()
-	default:
-		s.admitMu.RUnlock()
-		s.stats.admitted.Add(-1)
-		putJob(j)
-		if probe {
-			t.brk.cancelProbe()
+
+	var out queryOutcome
+	if hedge {
+		out = s.runHedged(ctx, t, src, countEmit, deadline)
+	} else {
+		out = s.runOnce(ctx, t, src, countEmit, deadline, true)
+	}
+
+	// Serve-layer retry: one extra attempt, spent from the target's token
+	// bucket, for failures that are the infrastructure's fault and that a
+	// fresh attempt can fix — a breaker rejection that never ran, or a
+	// memio retry schedule spent to exhaustion on an attempt that ran but
+	// delivered nothing. Mutating queries never retry (the failed attempt
+	// may have half-applied its writes).
+	if s.retryableOutcome(out, emitted) && t.retry.take() {
+		if (deadline.IsZero() || s.cfg.now().Before(deadline)) && sleepCtx(ctx, t.retry.backoff) {
+			s.stats.retried.Add(1)
+			second := s.runOnce(ctx, t, src, countEmit, deadline, false)
+			// The retry's outcome stands unless it was refused without
+			// running while the original at least ran.
+			if second.ran || !out.ran {
+				out = second
+			}
 		}
-		s.stats.shed.Add(1)
-		return ErrOverloaded
 	}
 
+	if out.ran {
+		s.stats.completed.Add(1)
+		t.retry.earn()
+		// Output truncation is a clean completion, not a failure: the
+		// emit callback stops the evaluation early on purpose.
+		if out.err != nil && !errors.Is(out.err, errTruncated) {
+			s.stats.failed.Add(1)
+		}
+	}
+	return out.err
+}
+
+// retryableOutcome classifies an attempt outcome for the serve-layer retry.
+func (s *Server) retryableOutcome(out queryOutcome, emitted int) bool {
+	if out.err == nil || out.mutated || emitted > 0 {
+		return false
+	}
+	if !out.ran {
+		return errors.Is(out.err, ErrCircuitOpen)
+	}
+	return memio.IsRetryExhausted(out.err)
+}
+
+// runOnce drives a single attempt through the queue and blocks for its
+// worker. counted marks the attempt that carries the query's stats counts.
+func (s *Server) runOnce(ctx context.Context, t *targetState, src string, emit func(duel.Result) error, deadline time.Time, counted bool) queryOutcome {
+	j, err := s.enqueue(ctx, t, src, emit, deadline, counted, false)
+	if err != nil {
+		return queryOutcome{err: err}
+	}
 	// Always wait for the worker: the evaluation itself is revocable
 	// through ctx, so this wait is bounded by the caller's own deadline,
 	// and never returning early keeps emit's writes race-free.
 	err = <-j.done
+	out := queryOutcome{err: err, ran: j.ran, mutated: j.mutated}
 	putJob(j)
-	return err
+	return out
+}
+
+// runHedged drives a hedged pair: the primary attempt immediately, a second
+// attempt if the primary has not finished after the adaptive hedge delay.
+// First finished attempt wins; the loser is canceled through its context
+// and — crucially for Shutdown — always awaited before this returns, so a
+// drain can never strand half a pair in the queue or double-count it.
+//
+// Each attempt buffers its results privately and only the winner's
+// transcript is replayed to the caller, so a pair can never interleave or
+// duplicate output however the race lands.
+func (s *Server) runHedged(ctx context.Context, t *targetState, src string, emit func(duel.Result) error, deadline time.Time) queryOutcome {
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	var pbuf []duel.Result
+	pj, err := s.enqueue(pctx, t, src, func(r duel.Result) error {
+		pbuf = append(pbuf, r)
+		return nil
+	}, deadline, true, false)
+	if err != nil {
+		return queryOutcome{err: err}
+	}
+
+	var (
+		hj      *job
+		hcancel context.CancelFunc
+		hbuf    []duel.Result
+		perr    error
+		herr    error
+	)
+	pdone, hedgeFirst := false, false
+	timer := time.NewTimer(s.cfg.Hedge.delayFor(t.lat.load()))
+	select {
+	case perr = <-pj.done:
+		pdone = true
+		timer.Stop()
+	case <-timer.C:
+		hctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		hcancel = cancel
+		hj, err = s.enqueue(hctx, t, src, func(r duel.Result) error {
+			hbuf = append(hbuf, r)
+			return nil
+		}, deadline, false, true)
+		if err != nil {
+			// The hedge could not be placed (overload, drain, breaker,
+			// quarantine): the primary carries on alone.
+			hj = nil
+		} else {
+			s.stats.hedged.Add(1)
+		}
+	}
+	if hj != nil {
+		select {
+		case perr = <-pj.done:
+			pdone = true
+			hcancel() // primary finished first: revoke the hedge
+		case herr = <-hj.done:
+			hedgeFirst = true
+			// Revoke the primary only if the hedge actually produced a
+			// result. A refused hedge (mutating query, shed at pickup)
+			// finishing first must not cancel the one attempt that is
+			// legitimately evaluating — for a mutating primary that
+			// would abort a write mid-flight. The done receive orders
+			// the worker's hj.ran store before this load.
+			if hj.ran {
+				pcancel()
+			}
+		}
+		// Collect the loser too before returning: the pair must be fully
+		// out of the system when SubmitContext returns, or a drain could
+		// return while half a pair still runs.
+		if pdone {
+			herr = <-hj.done
+		} else {
+			perr = <-pj.done
+			pdone = true
+		}
+	} else if !pdone {
+		perr = <-pj.done
+	}
+
+	// Pick the winner: the attempt that actually evaluated and finished
+	// first. A hedge that was refused per-attempt (mutating query, shed)
+	// never wins; if neither ran, the primary's admission error stands.
+	var out queryOutcome
+	switch {
+	case hj != nil && hj.ran && (hedgeFirst || !pj.ran):
+		out = queryOutcome{err: herr, ran: true, mutated: hj.mutated, buf: hbuf}
+		s.stats.hedgeWins.Add(1)
+	default:
+		out = queryOutcome{err: perr, ran: pj.ran, mutated: pj.mutated, buf: pbuf}
+	}
+	putJob(pj)
+	if hj != nil {
+		putJob(hj)
+	}
+
+	// Replay the winner's transcript. An emit error (Exec truncation)
+	// takes over exactly as it would have aborted a live evaluation.
+	for _, r := range out.buf {
+		if eerr := emit(r); eerr != nil {
+			out.err = eerr
+			break
+		}
+	}
+	out.buf = nil
+	return out
+}
+
+// enqueue places one attempt in the queue under admission control. counted
+// attempts carry the query's Admitted/Shed/Drained counts; hedge and retry
+// attempts pass counted=false so a query never counts twice.
+func (s *Server) enqueue(ctx context.Context, t *targetState, src string, emit func(duel.Result) error, deadline time.Time, counted, hedge bool) (*job, error) {
+	s.admitMu.RLock()
+	if s.state != stateServing {
+		s.admitMu.RUnlock()
+		if counted {
+			s.stats.drained.Add(1)
+		}
+		return nil, ErrDraining
+	}
+	healthProbe, err := t.health.admit()
+	if err != nil {
+		s.admitMu.RUnlock()
+		return nil, fmt.Errorf("target %q: %w", t.name, err)
+	}
+	probe, err := t.brk.admit()
+	if err != nil {
+		s.admitMu.RUnlock()
+		if healthProbe {
+			t.health.cancelProbe()
+		}
+		return nil, fmt.Errorf("target %q: %w", t.name, err)
+	}
+	j := jobPool.Get().(*job)
+	j.ctx, j.t, j.src, j.emit = ctx, t, src, emit
+	j.deadline, j.probe, j.healthProbe, j.hedge, j.counted = deadline, probe, healthProbe, hedge, counted
+	// Count the admission before the enqueue: once the job is in the
+	// queue a worker can complete it at any moment, and a Stats snapshot
+	// taken in that window used to show Completed > Admitted. A query
+	// that turns out to be shed rolls its increment back below.
+	if counted {
+		s.stats.admitted.Add(1)
+	}
+	select {
+	case s.queue <- j:
+		s.admitMu.RUnlock()
+		return j, nil
+	default:
+		s.admitMu.RUnlock()
+		if counted {
+			s.stats.admitted.Add(-1)
+			s.stats.shed.Add(1)
+		}
+		s.releaseProbes(j)
+		putJob(j)
+		return nil, ErrOverloaded
+	}
+}
+
+// releaseProbes returns any probe slots an attempt held without running.
+func (s *Server) releaseProbes(j *job) {
+	if j.probe {
+		j.t.brk.cancelProbe()
+	}
+	if j.healthProbe {
+		j.t.health.cancelProbe()
+	}
 }
 
 // worker pulls jobs until drain, then finishes whatever is still queued.
@@ -507,53 +862,97 @@ func retain(j *job, aff *affinity, ps *pooledSession) {
 	aff.t, aff.ps = j.t, ps
 }
 
-// run executes one admitted query on the calling worker.
+// errHedgeMutating refuses a hedge attempt whose query turned out to
+// mutate the target: its primary is (or was) executing the same writes, and
+// a mutating query must run exactly once. Never surfaced to callers —
+// runHedged discards the loser's refusal.
+var errHedgeMutating = errors.New("serve: hedge attempt refused: query mutates the target")
+
+// run executes one attempt on the calling worker. Completion/failure
+// accounting lives with the submitter (SubmitContext), which sees the whole
+// query; this function only maintains the shed-class counters for counted
+// attempts and reports ran/mutated back through the job.
 func (s *Server) run(j *job, aff *affinity) error {
+	if !j.deadline.IsZero() && s.cfg.now().After(j.deadline) {
+		// The deadline lapsed while the query sat in the queue: shed it
+		// here, before acquiring a session or the target lock — the whole
+		// point of carrying the deadline through the queue is that an
+		// already-dead query costs the target nothing.
+		s.releaseProbes(j)
+		if j.counted {
+			s.stats.deadlineExpired.Add(1)
+		}
+		return ErrDeadlineExceeded
+	}
 	if err := context.Cause(j.ctx); err != nil {
 		// The caller gave up while the query was queued.
-		if j.probe {
-			j.t.brk.cancelProbe()
+		s.releaseProbes(j)
+		if j.counted {
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.stats.deadlineExpired.Add(1)
+			} else {
+				s.stats.drained.Add(1)
+			}
 		}
-		s.stats.drained.Add(1)
 		return &core.CanceledError{Cause: err}
 	}
 	if s.hardCtx.Err() != nil {
 		// The drain deadline passed while the query was queued.
-		if j.probe {
-			j.t.brk.cancelProbe()
+		s.releaseProbes(j)
+		if j.counted {
+			s.stats.drained.Add(1)
 		}
-		s.stats.drained.Add(1)
 		return ErrDraining
 	}
 
 	ps, err := s.acquire(j, aff)
 	if err != nil {
-		if j.probe {
-			j.t.brk.cancelProbe()
-		}
-		s.stats.completed.Add(1)
-		s.stats.failed.Add(1)
+		s.releaseProbes(j)
+		j.ran = true // the query spent its admission; the submitter counts it
 		return err
 	}
 	ses := ps.ses
 	n, perr := ses.ParseCached(j.src)
 	if perr != nil {
 		// A parse error never reached the target; it says nothing about
-		// target health, so the breaker does not hear about it.
-		if j.probe {
-			j.t.brk.cancelProbe()
-		}
+		// target health, so neither the breaker nor the health score hears
+		// about it.
+		s.releaseProbes(j)
 		retain(j, aff, ps)
-		s.stats.completed.Add(1)
-		s.stats.failed.Add(1)
+		j.ran = true
 		return perr
 	}
 
-	// Compose the caller's context with the server's drain deadline.
-	ctx, cancel := context.WithCancel(j.ctx)
+	mutating := MutatesTargetFor(n, ses.D)
+	j.mutated = mutating
+	if mutating && j.hedge {
+		// Classification happens here, the first place the AST is in
+		// hand; a mutating hedge is refused before the target lock.
+		s.releaseProbes(j)
+		retain(j, aff, ps)
+		return errHedgeMutating
+	}
+	if mutating && !j.t.health.allowWrite() {
+		// Brownout: the degraded target keeps serving reads under the
+		// shared lock, but writes — which take the exclusive lock and
+		// amplify its sickness into pool-wide stalls — are shed.
+		s.releaseProbes(j)
+		retain(j, aff, ps)
+		j.t.health.brownoutSheds.Add(1)
+		return fmt.Errorf("target %q: %w", j.t.name, ErrBrownout)
+	}
+
+	// Compose the caller's context with the query deadline and the
+	// server's drain deadline.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.deadline.IsZero() {
+		ctx, cancel = context.WithCancel(j.ctx)
+	} else {
+		ctx, cancel = context.WithDeadline(j.ctx, j.deadline)
+	}
 	stop := context.AfterFunc(s.hardCtx, cancel)
 
-	mutating := MutatesTargetFor(n, ses.D)
 	if mutating {
 		j.t.rw.Lock()
 	} else {
@@ -562,7 +961,9 @@ func (s *Server) run(j *job, aff *affinity) error {
 	// Under the lock the write epoch is stable; catch this session's page
 	// cache up to it before touching memory.
 	ps.sync(j.t)
+	start := time.Now()
 	err = ses.EvalNodeContext(ctx, n, j.emit)
+	elapsed := time.Since(start)
 	if mutating {
 		// Publish the mutation: sessions whose accessors may hold
 		// pre-write bytes flush themselves when they next observe the new
@@ -576,7 +977,23 @@ func (s *Server) run(j *job, aff *affinity) error {
 	stop()
 	cancel()
 
-	j.t.brk.record(j.probe, infraFailure(err))
+	infra := infraFailure(err)
+	j.t.brk.record(j.probe, infra)
+	var ce *core.CanceledError
+	if errors.As(err, &ce) {
+		// A canceled attempt (caller gave up, hedge lost the race) says
+		// nothing about target health, and its latency is the canceler's
+		// choice, not the target's.
+		if j.healthProbe {
+			j.t.health.cancelProbe()
+		}
+	} else {
+		slow := s.cfg.Health.SlowLatency > 0 && elapsed > s.cfg.Health.SlowLatency
+		j.t.health.observe(j.healthProbe, infra, slow)
+		if err == nil || errors.Is(err, errTruncated) {
+			j.t.lat.observe(elapsed)
+		}
+	}
 	if Pollutes(n) {
 		// The query grew session-local state (aliases, DUEL declarations,
 		// interned strings); wipe it so pooled sessions stay
@@ -585,13 +1002,7 @@ func (s *Server) run(j *job, aff *affinity) error {
 		ses.ClearAliases()
 	}
 	retain(j, aff, ps)
-	s.stats.completed.Add(1)
-	// Output truncation is a clean completion, not a failure: the emit
-	// callback stops the evaluation early on purpose and the caller gets
-	// a nil error.
-	if err != nil && !errors.Is(err, errTruncated) {
-		s.stats.failed.Add(1)
-	}
+	j.ran = true
 	return err
 }
 

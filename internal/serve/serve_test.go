@@ -363,7 +363,11 @@ func TestBreakerTripsFailsFastRecovers(t *testing.T) {
 		srv := New(Config{
 			Workers: 1,
 			Breaker: BreakerConfig{Threshold: 3, Cooldown: time.Second},
-			now:     clk.now,
+			// Serve-layer retries off: this test pins the exact
+			// failure count at which the breaker trips, and a retried
+			// attempt would feed the breaker twice per query.
+			Retry: RetryConfig{Disabled: true},
+			now:   clk.now,
 		})
 		srv.RegisterFactory("t", func() (*duel.Session, error) {
 			return duel.NewSession(inj, duel.DefaultOptions())

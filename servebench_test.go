@@ -141,12 +141,11 @@ func BenchmarkServeOverload(b *testing.B) {
 	b.ReportMetric(float64(shed.Load())/float64(b.N), "shed/op")
 }
 
-// serveThroughput measures read-only queries/s through a server with the
-// given worker count: `workers` submitters evaluate the benchmark query in
-// a closed loop for roughly `d`, after a warmup pass that populates the
-// session pool and the compiled-program caches.
-func serveThroughput(t testing.TB, workers int, d time.Duration) float64 {
-	srv := benchServer(t, workers, 4*workers)
+// serveThroughput measures read-only queries/s through srv: `workers`
+// submitters evaluate the benchmark query in a closed loop for roughly `d`,
+// after a warmup pass that populates the session pool and the
+// compiled-program caches.
+func serveThroughput(t testing.TB, srv *serve.Server, workers int, d time.Duration) float64 {
 	ctx := context.Background()
 	var warm sync.WaitGroup
 	for g := 0; g < workers; g++ {
@@ -191,6 +190,106 @@ func serveThroughput(t testing.TB, workers int, d time.Duration) float64 {
 	return float64(n.Load()) / elapsed.Seconds()
 }
 
+// hedgeServer stands up a server like benchServer with hedging configured.
+// The hedge delay is pinned far above the query's actual latency, so on a
+// healthy target the hedge timer never fires: what these measurements see is
+// the pure happy-path cost of the hedging machinery (the timer, the private
+// result buffer, the winner replay).
+func hedgeServer(b testing.TB, workers int, hedge bool) *serve.Server {
+	b.Helper()
+	d, err := scenarios.BuildIntArray(256, func(i int) int64 { return int64(i%7) - 3 })
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := duel.DefaultOptions()
+	opts.Backend = "compiled"
+	srv := serve.New(serve.Config{
+		Workers:    workers,
+		QueueDepth: 4 * workers,
+		Session:    opts,
+		Hedge:      serve.HedgeConfig{Enabled: hedge, Delay: 50 * time.Millisecond},
+	})
+	srv.Register("bench", d)
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv
+}
+
+// BenchmarkServeHedgedRead measures read-only throughput with hedging off
+// and on against a healthy target. The two sub-benchmarks differ only in the
+// hedging machinery; their gap is the happy-path overhead the <5% acceptance
+// gate bounds (the CI bench-json compare watches this benchmark).
+func BenchmarkServeHedgedRead(b *testing.B) {
+	for _, hedge := range []bool{false, true} {
+		b.Run(fmt.Sprintf("hedge=%v", hedge), func(b *testing.B) {
+			const workers = 4
+			srv := hedgeServer(b, workers, hedge)
+			ctx := context.Background()
+			if _, err := srv.Eval(ctx, "bench", benchServeQuery); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			var failed atomic.Int64
+			per := b.N / workers
+			extra := b.N % workers
+			for g := 0; g < workers; g++ {
+				n := per
+				if g < extra {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if _, err := srv.Eval(ctx, "bench", benchServeQuery); err != nil {
+							failed.Add(1)
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			if f := failed.Load(); f > 0 {
+				b.Fatalf("%d/%d queries failed", f, b.N)
+			}
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
+		})
+	}
+}
+
+// TestHedgeHappyPathOverhead keeps the hedging machinery honest: with the
+// hedge timer pinned far above the query latency, enabling hedging must not
+// cost read throughput. The acceptance bar is 5% on an idle host; the
+// assertion leaves margin below it so a loaded CI neighbor cannot flake the
+// build while a real regression (a hedge that always fires, a serializer on
+// the hedge path) still fails decisively.
+func TestHedgeHappyPathOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead measurement: skipped under -short")
+	}
+	if raceEnabled {
+		t.Skip("overhead measurement: skipped under -race")
+	}
+	if p := runtime.GOMAXPROCS(0); p < 2 {
+		t.Skipf("overhead measurement needs >=2 CPUs, have GOMAXPROCS=%d", p)
+	}
+	const window = 300 * time.Millisecond
+	base := serveThroughput(t, hedgeServer(t, 4, false), 4, window)
+	hedged := serveThroughput(t, hedgeServer(t, 4, true), 4, window)
+	ratio := hedged / base
+	t.Logf("read-only throughput: hedge=off %.0f q/s, hedge=on %.0f q/s (%.2fx)", base, hedged, ratio)
+	if ratio < 0.80 {
+		t.Errorf("hedging costs %.0f%% of read throughput (%.0f vs %.0f q/s); the happy path has regressed", (1-ratio)*100, hedged, base)
+	}
+}
+
 // TestServeReadScaling is the scaling regression test for ROADMAP Open
 // item 1: on a multi-core host, 4 workers must deliver materially more
 // read-only queries/s than 1 worker. The serve layer's whole point is that
@@ -218,8 +317,8 @@ func TestServeReadScaling(t *testing.T) {
 		t.Skip("scaling measurement: skipped under -race")
 	}
 	const window = 300 * time.Millisecond
-	q1 := serveThroughput(t, 1, window)
-	q4 := serveThroughput(t, 4, window)
+	q1 := serveThroughput(t, benchServer(t, 1, 4), 1, window)
+	q4 := serveThroughput(t, benchServer(t, 4, 16), 4, window)
 	ratio := q4 / q1
 	t.Logf("read-only throughput: workers=1 %.0f q/s, workers=4 %.0f q/s (%.2fx)", q1, q4, ratio)
 	// The acceptance bar is 2.5x on an idle 4-core host; assert a safety
