@@ -15,10 +15,14 @@
 //
 //	benchjson -compare old.json new.json
 //	benchjson -compare -metric queries/s -threshold 0.20 old.json new.json
+//	benchjson -compare -gate allocs/op=0.10 -gate ns/op=0.25 old.json new.json
 //
 // It reports the chosen metric for every benchmark present in both files
 // and exits non-zero when any regresses by more than the threshold — the
 // CI gate that keeps the serving layer's throughput honest across commits.
+// Each repeatable -gate metric=threshold adds one more gated metric with
+// its own threshold on top of the primary -metric/-threshold pair, so one
+// compare run can hold throughput AND the allocation diet simultaneously.
 package main
 
 import (
@@ -51,14 +55,46 @@ type Report struct {
 	Results   []Result `json:"results"`
 }
 
+// gate is one metric=threshold pair of the repeatable -gate flag.
+type gate struct {
+	metric    string
+	threshold float64
+}
+
+// gateList implements flag.Value for -gate.
+type gateList []gate
+
+func (g *gateList) String() string {
+	var parts []string
+	for _, e := range *g {
+		parts = append(parts, fmt.Sprintf("%s=%g", e.metric, e.threshold))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *gateList) Set(s string) error {
+	eq := strings.LastIndexByte(s, '=')
+	if eq <= 0 {
+		return fmt.Errorf("want metric=threshold, got %q", s)
+	}
+	th, err := strconv.ParseFloat(s[eq+1:], 64)
+	if err != nil || th <= 0 {
+		return fmt.Errorf("bad threshold in %q (want a positive fraction)", s)
+	}
+	*g = append(*g, gate{metric: s[:eq], threshold: th})
+	return nil
+}
+
 func main() {
-	bench := flag.String("bench", "T1Catalog|T3Scan|T3ListWalk|ServeThroughput|ServeOverload|ServeHedgedRead", "benchmark name pattern (go test -bench)")
+	bench := flag.String("bench", "T1Catalog|T3Scan|T3ListWalk|ServeThroughput|ServeOverload|ServeHedgedRead|ServeBatchedRead|ServeStream", "benchmark name pattern (go test -bench)")
 	benchtime := flag.String("benchtime", "", "per-benchmark time or count (go test -benchtime)")
 	out := flag.String("out", "", "output path; default BENCH_<date>.json, \"-\" for stdout")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	compare := flag.Bool("compare", false, "diff two artifacts (old.json new.json) instead of benchmarking")
 	metric := flag.String("metric", "queries/s", "metric to diff in -compare mode (\"ns/op\" or any metrics-map key)")
 	threshold := flag.Float64("threshold", 0.20, "fractional regression that fails -compare mode")
+	var gates gateList
+	flag.Var(&gates, "gate", "extra metric=threshold gate for -compare mode (repeatable, e.g. -gate allocs/op=0.10)")
 	flag.Parse()
 
 	if *compare {
@@ -66,7 +102,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two artifacts: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), *metric, *threshold))
+		code := compareReports(flag.Arg(0), flag.Arg(1), *metric, *threshold)
+		for _, g := range gates {
+			if c := compareReports(flag.Arg(0), flag.Arg(1), g.metric, g.threshold); c > code {
+				code = c
+			}
+		}
+		os.Exit(code)
 	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", *pkg}

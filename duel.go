@@ -481,9 +481,19 @@ func (s *Session) ResetCounters() {
 //		fmt.Println(r.Line())
 //	}
 func (s *Session) Values(src string) iter.Seq2[Result, error] {
+	return s.ValuesContext(context.Background(), src)
+}
+
+// ValuesContext is Values with caller-controlled cancellation: canceling ctx
+// mid-iteration aborts the evaluation at its next step check, interrupts the
+// memory chain, and yields the *core.CanceledError as the iterator's final
+// element. Breaking out of the loop stops the evaluation immediately (the
+// generator machinery unwinds before the next value is produced), so an
+// abandoned iteration holds no session or target state.
+func (s *Session) ValuesContext(ctx context.Context, src string) iter.Seq2[Result, error] {
 	return func(yield func(Result, error) bool) {
 		stop := errors.New("stop")
-		err := s.EvalFunc(src, func(r Result) error {
+		err := s.EvalFuncContext(ctx, src, func(r Result) error {
 			if !yield(r, nil) {
 				return stop
 			}

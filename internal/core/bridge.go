@@ -79,6 +79,11 @@ func (e *Env) PostSym(a value.Sym, op string) value.Sym { return e.postSym(a, op
 // IndexSym composes "base[idx]".
 func (e *Env) IndexSym(base, idx value.Sym) value.Sym { return e.indexSym(base, idx) }
 
+// ScanIndexSym composes "prefix idx ]" from a precomputed "base[" prefix —
+// the compiled backend's fused scan loop hot path. Counts one SymOp like
+// IndexSym.
+func (e *Env) ScanIndexSym(prefix, idx string) value.Sym { return e.scanIndexSym(prefix, idx) }
+
 // WithOpSym composes the symbolic value of a with expression (base.inner or
 // base->inner, passing "_" results through unchanged).
 func (e *Env) WithOpSym(base value.Sym, op string, inner value.Sym) value.Sym {

@@ -29,7 +29,7 @@ func (chanBackend) Eval(e *Env, n *ast.Node, emit EmitFn) error {
 	e.beginEval()
 	g := &cgen{env: e}
 	it := g.gen(n)
-	defer it.stop()
+	defer g.put(it)
 	for {
 		v, ok := it.next()
 		if !ok {
@@ -41,11 +41,19 @@ func (chanBackend) Eval(e *Env, n *ast.Node, emit EmitFn) error {
 	}
 }
 
+// cmsg is one producer→consumer message: a value, or the end-of-sequence
+// sentinel. A sentinel (instead of closing vals) lets exhausted iterators
+// and their channels be recycled — a closed channel is single-use, and the
+// channel pair dominated this backend's allocation profile.
+type cmsg struct {
+	v   value.Value
+	end bool
+}
+
 // citer is a coroutine-backed value iterator.
 type citer struct {
-	vals   chan value.Value
-	resume chan struct{}
-	done   chan struct{}
+	vals   chan cmsg // producer → consumer: values, then one end sentinel
+	resume chan bool // consumer → producer: true = continue, false = abandon
 	err    error
 
 	started bool
@@ -59,36 +67,43 @@ func (it *citer) next() (value.Value, bool) {
 		return value.Value{}, false
 	}
 	if it.started {
-		select {
-		case it.resume <- struct{}{}:
-		case <-it.done:
-			it.ended = true
-			return value.Value{}, false
-		}
+		it.resume <- true
 	}
 	it.started = true
-	v, ok := <-it.vals
-	if !ok {
+	m := <-it.vals
+	if m.end {
 		it.ended = true
+		return value.Value{}, false
 	}
-	return v, ok
+	return m.v, true
 }
 
 // stop abandons the iterator and waits for its coroutine to unwind
 // completely. The wait matters: the coroutine's deferred cleanups (popping
 // with-scopes, stopping its own children) mutate shared evaluator state, so
-// the consumer may only continue once the producer has finished — vals is
-// closed by the outermost defer, after all others ran.
+// the consumer may only continue once the producer has finished — the end
+// sentinel is sent by the outermost defer, after all others ran.
 func (it *citer) stop() {
 	if it.stopped {
 		return
 	}
 	it.stopped = true
-	close(it.done)
-	for range it.vals {
-		// Discard any in-flight values until the producer closes vals.
+	if !it.ended {
+		if it.started {
+			// The producer is suspended in yield, waiting for a verdict.
+			it.resume <- false
+		}
+		for {
+			// Refuse any value the producer was already committed to
+			// sending, until the unwind's end sentinel arrives.
+			m := <-it.vals
+			if m.end {
+				break
+			}
+			it.resume <- false
+		}
+		it.ended = true
 	}
-	it.ended = true
 }
 
 // cgen builds coroutine generators over an Env.
@@ -102,36 +117,39 @@ type yielder struct {
 }
 
 func (y yielder) yield(v value.Value) bool {
-	select {
-	case y.it.vals <- v:
-	case <-y.it.done:
-		return false
-	}
-	select {
-	case <-y.it.resume:
-		return true
-	case <-y.it.done:
-		return false
-	}
+	y.it.vals <- cmsg{v: v}
+	return <-y.it.resume
 }
 
 // errAbandon unwinds a coroutine body after the consumer stopped it.
 var errAbandon = errors.New("duel: generator abandoned")
 
-// gen spawns the coroutine producing n's values.
+// gen spawns the coroutine producing n's values, recycling a finished
+// iterator (struct and both channels) from the Env's free list when one is
+// available. The free list needs no lock: the two-channel handshake keeps
+// exactly one party runnable at a time, and every hand-over is a channel
+// operation, so accesses from different coroutines are ordered.
 func (g *cgen) gen(n *ast.Node) *citer {
-	it := &citer{
-		vals:   make(chan value.Value),
-		resume: make(chan struct{}),
-		done:   make(chan struct{}),
+	e := g.env
+	var it *citer
+	if k := len(e.citerFree); k > 0 {
+		it = e.citerFree[k-1]
+		e.citerFree = e.citerFree[:k-1]
+		it.err = nil
+		it.started, it.ended, it.stopped = false, false, false
+	} else {
+		it = &citer{vals: make(chan cmsg), resume: make(chan bool)}
 	}
 	y := yielder{it: it}
 	go func() {
-		defer close(it.vals)
+		// The end sentinel is the coroutine's very last touch of the
+		// iterator (outermost defer), so once the consumer receives it the
+		// iterator is safe to recycle.
+		defer func() { it.vals <- cmsg{end: true} }()
 		// A panic in a coroutine body would otherwise kill the whole
 		// process (goroutine panics cannot be recovered elsewhere);
-		// convert it into the evaluation's error. The close above still
-		// runs afterwards, so consumers and stop() never block.
+		// convert it into the evaluation's error. The sentinel send above
+		// still runs afterwards, so consumers and stop() never block.
 		defer func() {
 			if p := recover(); p != nil {
 				it.err = &PanicError{Expr: g.env.exprUnder(n), Val: p}
@@ -143,6 +161,14 @@ func (g *cgen) gen(n *ast.Node) *citer {
 		}
 	}()
 	return it
+}
+
+// put stops the iterator (draining to the end sentinel if needed) and
+// returns it to the Env's free list. Every consumer pairs gen with exactly
+// one deferred put and drops its reference when the defer runs.
+func (g *cgen) put(it *citer) {
+	it.stop()
+	g.env.citerFree = append(g.env.citerFree, it)
 }
 
 // mustYield converts an abandoned send into the unwind error.
@@ -274,7 +300,7 @@ func (g *cgen) run(n *ast.Node, y yielder) error {
 
 	case ast.OpSizeofE:
 		it := g.gen(n.Kids[0])
-		defer it.stop()
+		defer g.put(it)
 		u, ok := it.next()
 		if !ok {
 			if it.err != nil {
@@ -671,7 +697,7 @@ func (g *cgen) run(n *ast.Node, y yielder) error {
 		}
 		if len(n.Kids) == 1 {
 			it := g.gen(n.Kids[0])
-			defer it.stop()
+			defer g.put(it)
 			if v, ok := it.next(); ok {
 				rv, err := e.rval(v)
 				if err != nil {
@@ -695,7 +721,7 @@ func (g *cgen) run(n *ast.Node, y yielder) error {
 // each runs body for every value of n, with full unwinding on error.
 func (g *cgen) each(n *ast.Node, body func(value.Value) error) error {
 	it := g.gen(n)
-	defer it.stop()
+	defer g.put(it)
 	for {
 		v, ok := it.next()
 		if !ok {
@@ -883,7 +909,7 @@ func (g *cgen) sel(n *ast.Node, y yielder) error {
 	cache := make(map[int64]value.Value, len(need))
 	// Pull n.Kids[0] lazily up to the largest requested index.
 	it := g.gen(n.Kids[0])
-	defer it.stop()
+	defer g.put(it)
 	for j := int64(0); j <= maxIdx; j++ {
 		u, ok := it.next()
 		if !ok {

@@ -125,4 +125,3 @@ func TestChanCleanupOnPanic(t *testing.T) {
 		}
 	})
 }
-

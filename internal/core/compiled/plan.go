@@ -12,7 +12,6 @@ package compiled
 
 import (
 	"fmt"
-	"strconv"
 
 	"duel/internal/core"
 	"duel/internal/ctype"
@@ -136,24 +135,6 @@ func compileScan(n *ast.Node) prog {
 	return nil
 }
 
-// smallInts caches the decimal strings of the subscripts scans use most, so
-// the per-element index atom costs no allocation for typical array sizes.
-var smallInts = func() [4096]string {
-	var t [4096]string
-	for i := range t {
-		t[i] = strconv.FormatInt(int64(i), 10)
-	}
-	return t
-}()
-
-// itoa is strconv.FormatInt(i, 10) with the small-integer fast path.
-func itoa(i int64) string {
-	if 0 <= i && i < int64(len(smallInts)) {
-		return smallInts[i]
-	}
-	return strconv.FormatInt(i, 10)
-}
-
 // scanLoop enumerates i in [lo, hi], applying Index(ru, i) with the same
 // per-iteration step, counters and symbolic composition as the interpreted
 // index-over-range, while the prefetcher keeps the window resident.
@@ -186,10 +167,10 @@ func scanLoop(e *core.Env, yield core.EmitFn, rangeNode *ast.Node, u, ru value.V
 		iv := value.Value{Type: intT, Bytes: buf}
 		var wSym value.Sym
 		if symbolic {
-			e.Num.SymOps += 2
-			is := itoa(i)
+			e.Num.SymOps++
+			is := value.Itoa(i)
 			iv.Sym = value.Sym{S: is, Prec: value.PrecAtom}
-			wSym = value.Sym{S: prefix + is + "]", Prec: value.PrecPostfix}
+			wSym = e.ScanIndexSym(prefix, is)
 		}
 		e.Num.Applies++
 		w, err := e.Ctx.Index(ru, iv)

@@ -197,6 +197,18 @@ type Env struct {
 	// here); the interpreting backends ignore it. See BackendCache.
 	backendCache any
 
+	// sym is the arena the symbolic helpers below compose derivation
+	// strings in: bulk scans pay one allocation per arena chunk instead of
+	// one garbage string per produced element (the dominant term of the
+	// warm re-eval profile once the serve locks are gone). It shares the
+	// Env's single-goroutine discipline.
+	sym value.SymArena
+
+	// citerFree recycles the chan backend's coroutine iterators (struct and
+	// channel pair) across generators and evaluations. Guarded by the
+	// backend's one-runnable-coroutine handshake, not a lock; see cgen.gen.
+	citerFree []*citer
+
 	// cancel is set by the Eval deadline watchdog (and cleared when the
 	// evaluation finishes); step checks it so every backend notices a
 	// timeout at its next produced value.
@@ -399,7 +411,7 @@ func (e *Env) intAtom(i int64) value.Sym {
 		return value.Sym{}
 	}
 	e.Num.SymOps++
-	return value.Atom(strconv.FormatInt(i, 10))
+	return value.Atom(value.Itoa(i))
 }
 
 func (e *Env) binSym(a value.Sym, op string, b value.Sym, prec int) value.Sym {
@@ -407,7 +419,7 @@ func (e *Env) binSym(a value.Sym, op string, b value.Sym, prec int) value.Sym {
 		return value.Sym{}
 	}
 	e.Num.SymOps++
-	return value.BinarySym(a, op, b, prec)
+	return e.sym.Binary(a, op, b, prec)
 }
 
 func (e *Env) preSym(op string, a value.Sym) value.Sym {
@@ -415,7 +427,7 @@ func (e *Env) preSym(op string, a value.Sym) value.Sym {
 		return value.Sym{}
 	}
 	e.Num.SymOps++
-	return value.Sym{S: op + a.At(value.PrecUnary), Prec: value.PrecUnary}
+	return e.sym.Pre(op, a)
 }
 
 func (e *Env) postSym(a value.Sym, op string) value.Sym {
@@ -423,7 +435,7 @@ func (e *Env) postSym(a value.Sym, op string) value.Sym {
 		return value.Sym{}
 	}
 	e.Num.SymOps++
-	return value.Sym{S: a.At(value.PrecPostfix) + op, Prec: value.PrecPostfix}
+	return e.sym.Post(a, op)
 }
 
 func (e *Env) indexSym(base value.Sym, idx value.Sym) value.Sym {
@@ -431,7 +443,19 @@ func (e *Env) indexSym(base value.Sym, idx value.Sym) value.Sym {
 		return value.Sym{}
 	}
 	e.Num.SymOps++
-	return value.Sym{S: base.At(value.PrecPostfix) + "[" + idx.S + "]", Prec: value.PrecPostfix}
+	return e.sym.Index(base, idx)
+}
+
+// scanIndexSym composes "prefix idx ]" for the compiled backend's fused scan
+// loop: the "base[" prefix is precomputed once per scan, so only the digits
+// and the closing bracket vary per element. It counts one SymOp like
+// indexSym, keeping the F2 breakdown identical across backends.
+func (e *Env) scanIndexSym(prefix, idx string) value.Sym {
+	if !e.Opts.Symbolic {
+		return value.Sym{}
+	}
+	e.Num.SymOps++
+	return value.Sym{S: e.sym.Concat3(prefix, idx, "]"), Prec: value.PrecPostfix}
 }
 
 // withSym composes the symbolic value of a with expression: base->field or
@@ -446,7 +470,7 @@ func (e *Env) withSym(base value.Sym, op string, inner value.Sym) value.Sym {
 		return inner
 	}
 	e.Num.SymOps++
-	return value.Sym{S: base.At(value.PrecPostfix) + op + inner.At(value.PrecPostfix), Prec: value.PrecPostfix}
+	return e.sym.With(base, op, inner)
 }
 
 // groupSym handles the symbolic value of a parenthesized expression: it
@@ -466,7 +490,10 @@ func (e *Env) dfsSym(root value.Sym, steps []string) value.Sym {
 	}
 	e.Num.SymOps++
 	const compressAt = 3
-	s := root.At(value.PrecPostfix)
+	var b strings.Builder
+	rs := root.At(value.PrecPostfix)
+	b.Grow(len(rs) + 8*len(steps))
+	b.WriteString(rs)
 	for i := 0; i < len(steps); {
 		j := i
 		for j < len(steps) && steps[j] == steps[i] {
@@ -474,15 +501,20 @@ func (e *Env) dfsSym(root value.Sym, steps []string) value.Sym {
 		}
 		run := j - i
 		if run >= compressAt {
-			s += "-->" + steps[i] + "[[" + strconv.Itoa(run) + "]]"
+			b.WriteString("-->")
+			b.WriteString(steps[i])
+			b.WriteString("[[")
+			b.WriteString(strconv.Itoa(run))
+			b.WriteString("]]")
 		} else {
 			for k := 0; k < run; k++ {
-				s += "->" + steps[i]
+				b.WriteString("->")
+				b.WriteString(steps[i])
 			}
 		}
 		i = j
 	}
-	return value.Sym{S: s, Prec: value.PrecPostfix}
+	return value.Sym{S: b.String(), Prec: value.PrecPostfix}
 }
 
 // --- storage helpers ---

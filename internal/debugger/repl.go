@@ -169,7 +169,11 @@ func (r *REPL) Command(line string) (quit bool, err error) {
 		}
 		return true, nil
 	case "help", "h":
-		r.help()
+		if strings.TrimSpace(rest) == "serve" {
+			r.helpServe()
+		} else {
+			r.help()
+		}
 		return false, nil
 	case "run", "r":
 		return false, r.cmdRun(strings.Fields(rest))
@@ -280,7 +284,8 @@ func (r *REPL) help() {
                        callfail callhang all; seed= after= limit= delay= hang=)
   serve [w [n]] <expr>  run n copies of a query through a w-worker
                       evaluation server and report concurrent throughput
-                      (knobs: hedge=on|off retry=on|off deadline=dur)
+                      (knobs: hedge retry deadline batch wait stream —
+                       "help serve" for the full list)
   counters            evaluation statistics
   stats               last-eval time, compile-cache and prefetch report
   quit
@@ -319,12 +324,12 @@ func (r *REPL) cmdStats() {
 // the REPL's current fault plan, reseeded per session — and reports
 // concurrent throughput and the server's admission stats.
 //
-// Resilience knobs ride along as key=value options between the numeric
-// arguments and the expression: hedge=on|off, retry=on|off, deadline=dur.
+// Serving knobs ride along as key=value options between the numeric
+// arguments and the expression; "help serve" lists them all.
 //
-//	serve [workers [n]] [hedge=on|off retry=on|off deadline=dur] <duel-expression>
+//	serve [workers [n]] [key=value ...] <duel-expression>
 func (r *REPL) cmdServe(rest string) error {
-	const usage = "usage: serve [workers [n]] [hedge=on|off retry=on|off deadline=dur] <expression>"
+	const usage = "usage: serve [workers [n]] [key=value ...] <expression>; try \"help serve\""
 	if r.running || r.evalDepth > 0 {
 		return fmt.Errorf("serve is unavailable while the program is running")
 	}
@@ -353,7 +358,9 @@ func (r *REPL) cmdServe(rest string) error {
 	// expression — "x=5" is a DUEL assignment, not an option.
 	var hedge serve.HedgeConfig
 	var retry serve.RetryConfig
+	var batch serve.BatchConfig
 	var deadline time.Duration
+	stream := false
 opts:
 	for len(fields) > 0 {
 		eq := strings.IndexByte(fields[0], '=')
@@ -362,16 +369,34 @@ opts:
 		}
 		key, val := fields[0][:eq], fields[0][eq+1:]
 		switch key {
-		case "hedge", "retry":
+		case "hedge", "retry", "stream":
 			on, err := parseOnOff(val)
 			if err != nil {
 				return fmt.Errorf("serve: %s=%s: %w", key, val, err)
 			}
-			if key == "hedge" {
+			switch key {
+			case "hedge":
 				hedge.Enabled = on
-			} else {
+			case "retry":
 				retry.Disabled = !on
+			case "stream":
+				stream = on
 			}
+		case "batch":
+			// batch=on (default size) or batch=N (flush at N members).
+			if on, err := parseOnOff(val); err == nil {
+				batch.Enabled = on
+			} else if v, err := strconv.Atoi(val); err == nil && v > 0 {
+				batch.Enabled, batch.BatchSize = true, v
+			} else {
+				return fmt.Errorf("serve: bad batch %q (want on, off, or a positive size)", val)
+			}
+		case "wait":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("serve: bad wait %q (want a positive duration)", val)
+			}
+			batch.MaxWait = d
 		case "deadline":
 			d, err := time.ParseDuration(val)
 			if err != nil || d <= 0 {
@@ -391,7 +416,7 @@ opts:
 
 	sopts := r.Ses.Options()
 	plan := r.Inj.CurrentPlan()
-	srv := serve.New(serve.Config{Workers: workers, Session: sopts, Hedge: hedge, Retry: retry})
+	srv := serve.New(serve.Config{Workers: workers, Session: sopts, Hedge: hedge, Retry: retry, Batch: batch})
 	var lane atomic.Int64
 	srv.RegisterFactory("repl", func() (*duel.Session, error) {
 		return duel.NewSession(faultdbg.New(r.Dbg, plan.Derive(lane.Add(1))), sopts)
@@ -412,7 +437,14 @@ opts:
 				if deadline > 0 {
 					opt.Deadline = time.Now().Add(deadline)
 				}
-				if _, err := srv.EvalWith(ctx, "repl", expr, opt); err != nil {
+				var err error
+				if stream {
+					err = srv.SubmitStream(ctx, "repl", expr, opt,
+						func(serve.StreamValue) error { return nil })
+				} else {
+					_, err = srv.EvalWith(ctx, "repl", expr, opt)
+				}
+				if err != nil {
 					failed.Add(1)
 					s := err.Error()
 					firstErr.CompareAndSwap(nil, &s)
@@ -436,10 +468,46 @@ opts:
 		st.Admitted, st.Shed, st.FastFails, st.Trips, failed.Load())
 	r.printf("resilience: %d deadline-expired, %d retried, %d hedged (%d wins), %d quarantined\n",
 		st.DeadlineExpired, st.Retried, st.Hedged, st.HedgeWins, st.Quarantined)
+	meanQ, meanE := time.Duration(0), time.Duration(0)
+	if st.Completed > 0 {
+		meanQ = time.Duration(st.QueueNanos / st.Completed)
+		meanE = time.Duration(st.EvalNanos / st.Completed)
+	}
+	r.printf("batching: %d batched in %d flushes, %d target-lock takes; stream: %d queries, %d values; mean queue %v, eval %v\n",
+		st.BatchedQueries, st.BatchFlushes, st.TargetLocks,
+		st.StreamQueries, st.StreamValues,
+		meanQ.Round(time.Microsecond), meanE.Round(time.Microsecond))
 	if e := firstErr.Load(); e != nil {
 		r.printf("first failure: %s\n", *e)
 	}
 	return nil
+}
+
+// helpServe documents every serve knob — the one-line summary in help
+// points here.
+func (r *REPL) helpServe() {
+	r.printf(`serve [workers [n]] [key=value ...] <duel-expression>
+
+Runs n copies (default 64) of the expression through a temporary
+workers-wide (default 4) evaluation server over this target and reports
+throughput plus the server's admission, resilience, batching and
+streaming counters. Pooled sessions inherit the current fault plan.
+
+Knobs (between the numbers and the expression):
+  hedge=on|off     hedged reads: fire a backup attempt for a slow read-only
+                   query; first result wins, the loser is canceled (off)
+  retry=on|off     serve-layer retry of transient infra failures under the
+                   per-target token-bucket budget (on)
+  deadline=dur     per-query end-to-end deadline, queue time included
+                   (e.g. deadline=50ms; expired-in-queue queries are shed)
+  batch=on|off|N   coalesce read-only queries per target: one lock take and
+                   one prefetch warm pass per batch; N sets the flush size
+                   (default %d)
+  wait=dur         batch MaxWait: flush a lone query's batch after this long
+                   rather than waiting for company (default %v)
+  stream=on|off    submit through SubmitStream, delivering each value as it
+                   is produced instead of collecting transcripts (off)
+`, serve.DefaultBatchSize, serve.DefaultBatchMaxWait)
 }
 
 // parseOnOff parses the REPL's boolean option syntax.

@@ -186,8 +186,40 @@ func DecodeInt(b []byte) int64 {
 	return int64(u<<shift) >> shift
 }
 
+// encCacheVals bounds the static encode cache below: the low integers that
+// comparison results, truth values, array subscripts and typical debuggee
+// payloads encode over and over. 4096 matches the compiled backend's cached
+// subscript strings; the four backing arrays cost ~60 KiB once.
+const encCacheVals = 4096
+
+// encCache[n] holds the little-endian encodings of 0..encCacheVals-1 at
+// width n, packed back to back, for the widths C integers actually have.
+// EncodeUint returns subslices of it, so the encodings are shared — which is
+// why EncodeUint's results must be treated as immutable.
+var encCache = func() [9][]byte {
+	var t [9][]byte
+	for _, n := range []int{1, 2, 4, 8} {
+		b := make([]byte, encCacheVals*n)
+		for v := 0; v < encCacheVals; v++ {
+			for i := 0; i < n; i++ {
+				b[v*n+i] = byte(uint64(v) >> (8 * i))
+			}
+		}
+		t[n] = b
+	}
+	return t
+}()
+
 // EncodeUint encodes the low 8*n bits of v into n little-endian bytes.
+//
+// The returned slice may be shared (small values come from a static cache,
+// precisely so that the per-element integers of a bulk scan cost no
+// allocation); callers must not modify it.
 func EncodeUint(v uint64, n int) []byte {
+	if v < encCacheVals && n < len(encCache) && encCache[n] != nil {
+		off := int(v) * n
+		return encCache[n][off : off+n : off+n]
+	}
 	b := make([]byte, n)
 	for i := 0; i < n; i++ {
 		b[i] = byte(v >> (8 * i))

@@ -245,6 +245,9 @@ type Accessor struct {
 	pages  map[uint64]*list.Element
 	lru    *list.List // front = most recently used; elements hold *page
 	stats  Stats
+	// pins counts open BeginBatch scopes; while positive, ReleasePrefetched
+	// is deferred so one warm pass can serve several evaluations.
+	pins int
 }
 
 type page struct {
@@ -426,6 +429,12 @@ func (a *Accessor) flushLocked() {
 // Prefetch still serve reads (that is the point of prefetching), but misses
 // never fill pages: only prefetched ranges are batched, everything else
 // stays one engine read = one host round-trip.
+//
+// A range that lies entirely inside one resident page is returned as a view
+// of that page, not a copy — the per-element fast path of every scan. This
+// is sound because page data is immutable once filled (invalidation drops
+// pages, it never rewrites them), so the view is a coherent snapshot; as
+// with the host debuggers' own returns, callers must not modify the bytes.
 func (a *Accessor) GetTargetBytes(addr uint64, n int) ([]byte, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -444,7 +453,7 @@ func (a *Accessor) GetTargetBytes(addr uint64, n int) ([]byte, error) {
 		}
 		return b, nil
 	}
-	out := make([]byte, n)
+	var out []byte
 	ps := uint64(a.cfg.PageSize)
 	for off := 0; off < n; {
 		cur := addr + uint64(off)
@@ -453,6 +462,9 @@ func (a *Accessor) GetTargetBytes(addr uint64, n int) ([]byte, error) {
 			if a.cfg.Cache {
 				a.stats.Misses++
 			}
+			if out == nil {
+				out = make([]byte, n)
+			}
 			b, err := a.hostRead(cur, n-off)
 			if err != nil {
 				return nil, a.fault(OpRead, addr, n, err)
@@ -460,7 +472,14 @@ func (a *Accessor) GetTargetBytes(addr uint64, n int) ([]byte, error) {
 			copy(out[off:], b)
 			break
 		}
-		off += copy(out[off:], pg.data[cur-pg.base:])
+		lo := int(cur - pg.base)
+		if off == 0 && lo+n <= len(pg.data) {
+			return pg.data[lo : lo+n : lo+n], nil
+		}
+		if out == nil {
+			out = make([]byte, n)
+		}
+		off += copy(out[off:], pg.data[lo:])
 	}
 	return out, nil
 }
@@ -575,6 +594,32 @@ func (a *Accessor) ValidTargetAddr(addr uint64, n int) bool {
 func (a *Accessor) Prefetch(addr uint64, n int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.prefetchLocked(addr, n)
+}
+
+// Range is one contiguous stripe of target addresses, the unit of a batch
+// warm pass.
+type Range struct {
+	Addr uint64
+	Len  int
+}
+
+// PrefetchRanges is Prefetch over several stripes under one lock
+// acquisition — the serve batcher's warm pass hands the union of its
+// members' planned scan stripes here so a whole batch pays one pass over
+// the accessor instead of one per member.
+func (a *Accessor) PrefetchRanges(rs []Range) {
+	if len(rs) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range rs {
+		a.prefetchLocked(r.Addr, r.Len)
+	}
+}
+
+func (a *Accessor) prefetchLocked(addr uint64, n int) {
 	if n <= 0 || addr+uint64(n) < addr || a.interrupted.Load() {
 		return
 	}
@@ -630,15 +675,48 @@ func (a *Accessor) Prefetch(addr uint64, n int) {
 // one-read-one-round-trip regime even if the target is mutated behind the
 // accessor's back (e.g. by running debuggee code directly). With the cache
 // on it is a no-op — the pages ARE the cache, and the usual invalidation
-// rules govern their lifetime.
+// rules govern their lifetime. Inside a BeginBatch/EndBatch scope the
+// release is deferred to EndBatch, so one warm pass survives all of a
+// batch's member evaluations.
 func (a *Accessor) ReleasePrefetched() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.pins > 0 {
+		return
+	}
+	a.releasePrefetchedLocked()
+}
+
+func (a *Accessor) releasePrefetchedLocked() {
 	if a.cfg.Cache || a.lru.Len() == 0 {
 		return
 	}
 	a.pages = make(map[uint64]*list.Element)
 	a.lru.Init()
+}
+
+// BeginBatch opens a pin scope: until the matching EndBatch, the resident
+// set survives ReleasePrefetched, so stripes warmed once ahead of a batch
+// serve every member evaluation. Writes, allocations and target calls still
+// invalidate normally — pinning defers only the end-of-eval release, never
+// coherence. Scopes nest.
+func (a *Accessor) BeginBatch() {
+	a.mu.Lock()
+	a.pins++
+	a.mu.Unlock()
+}
+
+// EndBatch closes a pin scope; closing the last one performs the release a
+// cache-off accessor deferred during the batch.
+func (a *Accessor) EndBatch() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pins > 0 {
+		a.pins--
+	}
+	if a.pins == 0 {
+		a.releasePrefetchedLocked()
+	}
 }
 
 // AllocTargetSpace implements dbgif.Debugger. The new storage may overlay

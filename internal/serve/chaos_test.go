@@ -36,6 +36,11 @@ func TestServeChaosSoak(t *testing.T) {
 		srv := New(Config{
 			Workers: 8,
 			Hedge:   HedgeConfig{Enabled: true, Delay: 200 * time.Microsecond},
+			// Batching rides the storm too: hedged queries bypass it, so a
+			// slice of the traffic below opts out of hedging to keep the
+			// batch path (coalesced admission, shared warm pass, per-member
+			// accounting) under the same fault pressure as everything else.
+			Batch: BatchConfig{Enabled: true, BatchSize: 4, MaxWait: 200 * time.Microsecond},
 			// The breaker's consecutive-failure fuse would mask the health
 			// path under a 95% storm; park it far away — it has its own
 			// deterministic tests.
@@ -131,6 +136,9 @@ func TestServeChaosSoak(t *testing.T) {
 					if i%7 == 3 {
 						opt.Deadline = time.Now().Add(50 * time.Millisecond)
 					}
+					if i%3 == 0 {
+						opt.Hedge = HedgeOff // this slice rides the batcher
+					}
 					if _, err := srv.EvalWith(context.Background(), target, src, opt); !allowed(err) {
 						t.Errorf("goroutine %d query %d (%s %q): unexpected error class: %v", g, i, target, src, err)
 					}
@@ -149,6 +157,9 @@ func TestServeChaosSoak(t *testing.T) {
 		}
 		if st.Hedged == 0 {
 			t.Error("soak issued no hedges")
+		}
+		if st.BatchedQueries == 0 {
+			t.Error("soak batched no queries")
 		}
 		if st.Completed > st.Admitted {
 			t.Errorf("post-storm stats violate the invariant: %+v", st)

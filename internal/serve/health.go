@@ -138,11 +138,11 @@ func newHealth(cfg HealthConfig, now func() time.Time) *health {
 		now = time.Now
 	}
 	h := &health{
-		cfg:        cfg,
-		now:        now,
-		brownFP:    int64(cfg.BrownoutScore * healthScale),
-		quarFP:     int64(cfg.QuarantineScore * healthScale),
-		recoverFP:  int64(cfg.RecoverScore * healthScale),
+		cfg:       cfg,
+		now:       now,
+		brownFP:   int64(cfg.BrownoutScore * healthScale),
+		quarFP:    int64(cfg.QuarantineScore * healthScale),
+		recoverFP: int64(cfg.RecoverScore * healthScale),
 	}
 	h.scoreFP.Store(healthScale) // a fresh target is healthy
 	return h

@@ -1,0 +1,70 @@
+package serve
+
+import "sync"
+
+// maxLockShards caps the reader shard count: past this, a writer's
+// take-every-shard pass costs more than the reader cache-line contention it
+// removes.
+const maxLockShards = 16
+
+// shardedRW is the target's read/write lock with the reader path sharded
+// per worker. A plain RWMutex serializes every RLock/RUnlock pair on one
+// reader-count cache line — tolerable at low worker counts, but the brownout
+// path (health.go) deliberately keeps ALL surviving traffic of a degraded
+// target on the read lock, so exactly when the health machinery earns its
+// keep, every query the target still serves was hitting that line. Here each
+// worker read-locks only its own cache-line-padded shard; writers take every
+// shard in order, so the exclusive semantics (and writer starvation
+// protection, per shard) are the RWMutex's own.
+//
+// Lock ordering across shards is fixed (ascending), so two concurrent
+// writers cannot deadlock. Readers touch exactly one shard and nest nothing
+// under it.
+type shardedRW struct {
+	shards []rwShard
+}
+
+// rwShard pads each RWMutex to its own cache-line pair so reader counts on
+// neighboring shards never share a line (64-byte lines, but allocators and
+// prefetchers work in 128-byte chunks).
+type rwShard struct {
+	mu sync.RWMutex
+	_  [128 - 24]byte
+}
+
+// newShardedRW sizes the lock for n workers; every worker gets its own
+// shard up to the cap.
+func newShardedRW(n int) *shardedRW {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxLockShards {
+		n = maxLockShards
+	}
+	return &shardedRW{shards: make([]rwShard, n)}
+}
+
+// RLock takes the reader lock on the calling worker's shard. The same id
+// must be passed to the matching RUnlock.
+func (l *shardedRW) RLock(id int) {
+	l.shards[id%len(l.shards)].mu.RLock()
+}
+
+// RUnlock releases the reader lock taken with the same id.
+func (l *shardedRW) RUnlock(id int) {
+	l.shards[id%len(l.shards)].mu.RUnlock()
+}
+
+// Lock takes the lock exclusively: every shard, in ascending order.
+func (l *shardedRW) Lock() {
+	for i := range l.shards {
+		l.shards[i].mu.Lock()
+	}
+}
+
+// Unlock releases an exclusive Lock in reverse order.
+func (l *shardedRW) Unlock() {
+	for i := len(l.shards) - 1; i >= 0; i-- {
+		l.shards[i].mu.Unlock()
+	}
+}

@@ -159,6 +159,9 @@ type Config struct {
 	// (see health.go). The zero value enables tracking with the defaults;
 	// set Health.Disabled to opt out.
 	Health HealthConfig
+	// Batch tunes read-only query coalescing (see batch.go). Off unless
+	// Batch.Enabled is set.
+	Batch BatchConfig
 
 	// now overrides the serving clock (breaker cooldowns, queue-deadline
 	// checks, health probe cadence) in tests.
@@ -185,6 +188,15 @@ type Stats struct {
 	QuarantineFails int64 // queries refused with ErrQuarantined
 	Brownouts       int64 // target transitions into brownout
 	BrownoutSheds   int64 // mutating queries shed with ErrBrownout
+
+	BatchFlushes   int64 // batches flushed to the queue (size or MaxWait)
+	BatchedQueries int64 // queries that rode a batch instead of their own job
+	StreamQueries  int64 // queries submitted through SubmitStream
+	StreamValues   int64 // values delivered through SubmitStream emits
+	TargetLocks    int64 // target-lock acquisitions (shared or exclusive), all targets
+
+	QueueNanos int64 // total queue wait of completed attempts, for mean latency
+	EvalNanos  int64 // total evaluation time of completed attempts
 }
 
 // liveStats is the server's hot counter set. Plain atomics instead of a
@@ -204,6 +216,14 @@ type liveStats struct {
 	retried         atomic.Int64
 	hedged          atomic.Int64
 	hedgeWins       atomic.Int64
+
+	batchFlushes   atomic.Int64
+	batchedQueries atomic.Int64
+	streamQueries  atomic.Int64
+	streamValues   atomic.Int64
+
+	queueNanos atomic.Int64
+	evalNanos  atomic.Int64
 }
 
 type serverState int
@@ -255,7 +275,24 @@ type targetState struct {
 
 	// rw lets read-only queries share the target; mutating queries take it
 	// exclusively (the substrate below the sessions is unsynchronized).
-	rw sync.RWMutex
+	// Sharded per worker so a read-dominated stream — all surviving traffic
+	// under brownout — does not serialize on one reader cache line.
+	rw *shardedRW
+
+	// locks counts lock acquisitions (one per shared or exclusive take,
+	// batches included), pinning the batcher's fewer-acquisitions guarantee
+	// in BenchmarkServeBatchedRead.
+	locks atomic.Int64
+
+	// batch coalesces read-only queries against this target; nil when
+	// batching is off.
+	batch *batcher
+
+	// cls is the lazily built classification session: the batcher parses
+	// and read/write-classifies a query before deciding its path, without
+	// borrowing a pooled evaluation session. Guarded by clsMu.
+	clsMu sync.Mutex
+	cls   *duel.Session
 
 	// epoch counts mutating queries. A mutating query bumps it while it
 	// still holds the write lock; every session records the epoch its page
@@ -317,6 +354,18 @@ type job struct {
 	ran         bool      // worker → submitter: the evaluation actually ran
 	mutated     bool      // worker → submitter: classified as mutating
 	done        chan error
+
+	// members, when non-nil, makes this job a batch container: the worker
+	// runs every member under one target-lock acquisition and one warm pass
+	// (runBatch) and the container itself reports to no submitter.
+	members []*job
+
+	// enqueuedAt stamps admission; the worker derives the queue wait from
+	// it and reports the evaluation time back in evalDur. Both ride the
+	// done channel's happens-before edge like ran/mutated.
+	enqueuedAt time.Time
+	queueWait  time.Duration
+	evalDur    time.Duration
 }
 
 var jobPool = sync.Pool{New: func() any { return &job{done: make(chan error, 1)} }}
@@ -326,6 +375,9 @@ func putJob(j *job) {
 	j.ctx, j.t, j.src, j.emit = nil, nil, "", nil
 	j.deadline = time.Time{}
 	j.probe, j.healthProbe, j.hedge, j.counted, j.ran, j.mutated = false, false, false, false, false, false
+	j.members = nil
+	j.enqueuedAt = time.Time{}
+	j.queueWait, j.evalDur = 0, 0
 	jobPool.Put(j)
 }
 
@@ -361,6 +413,14 @@ func New(cfg Config) *Server {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	if cfg.Batch.Enabled {
+		if cfg.Batch.BatchSize <= 0 {
+			cfg.Batch.BatchSize = DefaultBatchSize
+		}
+		if cfg.Batch.MaxWait <= 0 {
+			cfg.Batch.MaxWait = DefaultBatchMaxWait
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		queue:   make(chan *job, cfg.QueueDepth),
@@ -370,7 +430,7 @@ func New(cfg Config) *Server {
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -396,6 +456,10 @@ func (s *Server) RegisterFactory(name string, factory func() (*duel.Session, err
 		brk:     newBreaker(s.cfg.Breaker, s.cfg.now),
 		health:  newHealth(s.cfg.Health, s.cfg.now),
 		retry:   newRetryBudget(s.cfg.Retry),
+		rw:      newShardedRW(s.cfg.Workers),
+	}
+	if s.cfg.Batch.Enabled {
+		t.batch = &batcher{}
 	}
 	s.targetMu.Lock()
 	s.targets[name] = t
@@ -449,6 +513,12 @@ func (s *Server) Stats() Stats {
 	st.Retried = s.stats.retried.Load()
 	st.Hedged = s.stats.hedged.Load()
 	st.HedgeWins = s.stats.hedgeWins.Load()
+	st.BatchFlushes = s.stats.batchFlushes.Load()
+	st.BatchedQueries = s.stats.batchedQueries.Load()
+	st.StreamQueries = s.stats.streamQueries.Load()
+	st.StreamValues = s.stats.streamValues.Load()
+	st.QueueNanos = s.stats.queueNanos.Load()
+	st.EvalNanos = s.stats.evalNanos.Load()
 	s.targetMu.RLock()
 	for _, t := range s.targets {
 		_, trips, fastFails := t.brk.snapshot()
@@ -459,6 +529,7 @@ func (s *Server) Stats() Stats {
 		st.QuarantineFails += qFails
 		st.Brownouts += brownouts
 		st.BrownoutSheds += bSheds
+		st.TargetLocks += t.locks.Load()
 	}
 	s.targetMu.RUnlock()
 	return st
@@ -540,6 +611,9 @@ type queryOutcome struct {
 	ran     bool // some attempt actually evaluated (vs shed/refused)
 	mutated bool
 	buf     []duel.Result // hedged only: the winning attempt's transcript
+
+	queueWait time.Duration // admission → worker pickup, of the deciding attempt
+	evalDur   time.Duration // evaluation wall-clock, of the deciding attempt
 }
 
 // SubmitContext runs one query through admission, the queue, and a worker,
@@ -580,9 +654,19 @@ func (s *Server) SubmitContext(ctx context.Context, target, src string, opt Subm
 	}
 
 	var out queryOutcome
-	if hedge {
+	switch {
+	case hedge:
 		out = s.runHedged(ctx, t, src, countEmit, deadline)
-	} else {
+	case t.batch != nil:
+		// Batching path: read-only queries coalesce per target. A query the
+		// batcher does not take (mutating, parse error, batching raced a
+		// flush) falls through to its own job unchanged.
+		var handled bool
+		out, handled = s.submitBatched(ctx, t, src, countEmit, deadline)
+		if !handled {
+			out = s.runOnce(ctx, t, src, countEmit, deadline, true)
+		}
+	default:
 		out = s.runOnce(ctx, t, src, countEmit, deadline, true)
 	}
 
@@ -606,6 +690,8 @@ func (s *Server) SubmitContext(ctx context.Context, target, src string, opt Subm
 
 	if out.ran {
 		s.stats.completed.Add(1)
+		s.stats.queueNanos.Add(int64(out.queueWait))
+		s.stats.evalNanos.Add(int64(out.evalDur))
 		t.retry.earn()
 		// Output truncation is a clean completion, not a failure: the
 		// emit callback stops the evaluation early on purpose.
@@ -638,7 +724,7 @@ func (s *Server) runOnce(ctx context.Context, t *targetState, src string, emit f
 	// through ctx, so this wait is bounded by the caller's own deadline,
 	// and never returning early keeps emit's writes race-free.
 	err = <-j.done
-	out := queryOutcome{err: err, ran: j.ran, mutated: j.mutated}
+	out := queryOutcome{err: err, ran: j.ran, mutated: j.mutated, queueWait: j.queueWait, evalDur: j.evalDur}
 	putJob(j)
 	return out
 }
@@ -729,10 +815,10 @@ func (s *Server) runHedged(ctx context.Context, t *targetState, src string, emit
 	var out queryOutcome
 	switch {
 	case hj != nil && hj.ran && (hedgeFirst || !pj.ran):
-		out = queryOutcome{err: herr, ran: true, mutated: hj.mutated, buf: hbuf}
+		out = queryOutcome{err: herr, ran: true, mutated: hj.mutated, buf: hbuf, queueWait: hj.queueWait, evalDur: hj.evalDur}
 		s.stats.hedgeWins.Add(1)
 	default:
-		out = queryOutcome{err: perr, ran: pj.ran, mutated: pj.mutated, buf: pbuf}
+		out = queryOutcome{err: perr, ran: pj.ran, mutated: pj.mutated, buf: pbuf, queueWait: pj.queueWait, evalDur: pj.evalDur}
 	}
 	putJob(pj)
 	if hj != nil {
@@ -779,6 +865,7 @@ func (s *Server) enqueue(ctx context.Context, t *targetState, src string, emit f
 	j := jobPool.Get().(*job)
 	j.ctx, j.t, j.src, j.emit = ctx, t, src, emit
 	j.deadline, j.probe, j.healthProbe, j.hedge, j.counted = deadline, probe, healthProbe, hedge, counted
+	j.enqueuedAt = s.cfg.now()
 	// Count the admission before the enqueue: once the job is in the
 	// queue a worker can complete it at any moment, and a Stats snapshot
 	// taken in that window used to show Completed > Admitted. A query
@@ -816,7 +903,7 @@ func (s *Server) releaseProbes(j *job) {
 // Across jobs it keeps affinity with the last target it served: the session
 // stays out of the shared pool, so the common many-queries-one-target
 // stream never touches poolMu after warmup.
-func (s *Server) worker() {
+func (s *Server) worker(id int) {
 	defer s.wg.Done()
 	var aff affinity
 	defer func() {
@@ -827,18 +914,32 @@ func (s *Server) worker() {
 	for {
 		select {
 		case j := <-s.queue:
-			j.done <- s.run(j, &aff)
+			s.dispatch(j, &aff, id)
 		case <-s.drainCh:
 			for {
 				select {
 				case j := <-s.queue:
-					j.done <- s.run(j, &aff)
+					s.dispatch(j, &aff, id)
 				default:
 					return
 				}
 			}
 		}
 	}
+}
+
+// dispatch routes one dequeued job. A batch container (members != nil) runs
+// every member under runBatch and reports to no submitter — the container's
+// done channel must never be sent on: it is recycled with the job (buffered,
+// cap 1), and a stale value sitting in it would poison the next query built
+// from the pool. Plain jobs report to theirs.
+func (s *Server) dispatch(j *job, aff *affinity, id int) {
+	if j.members != nil {
+		s.runBatch(j, aff, id)
+		putJob(j)
+		return
+	}
+	j.done <- s.run(j, aff, id)
 }
 
 // acquire hands the worker a session for j's target: its affinity session
@@ -872,7 +973,8 @@ var errHedgeMutating = errors.New("serve: hedge attempt refused: query mutates t
 // accounting lives with the submitter (SubmitContext), which sees the whole
 // query; this function only maintains the shed-class counters for counted
 // attempts and reports ran/mutated back through the job.
-func (s *Server) run(j *job, aff *affinity) error {
+func (s *Server) run(j *job, aff *affinity, id int) error {
+	j.queueWait = s.cfg.now().Sub(j.enqueuedAt)
 	if !j.deadline.IsZero() && s.cfg.now().After(j.deadline) {
 		// The deadline lapsed while the query sat in the queue: shed it
 		// here, before acquiring a session or the target lock — the whole
@@ -956,14 +1058,16 @@ func (s *Server) run(j *job, aff *affinity) error {
 	if mutating {
 		j.t.rw.Lock()
 	} else {
-		j.t.rw.RLock()
+		j.t.rw.RLock(id)
 	}
+	j.t.locks.Add(1)
 	// Under the lock the write epoch is stable; catch this session's page
 	// cache up to it before touching memory.
 	ps.sync(j.t)
 	start := time.Now()
 	err = ses.EvalNodeContext(ctx, n, j.emit)
 	elapsed := time.Since(start)
+	j.evalDur = elapsed
 	if mutating {
 		// Publish the mutation: sessions whose accessors may hold
 		// pre-write bytes flush themselves when they next observe the new
@@ -972,7 +1076,7 @@ func (s *Server) run(j *job, aff *affinity) error {
 		ps.epoch = j.t.epoch.Add(1)
 		j.t.rw.Unlock()
 	} else {
-		j.t.rw.RUnlock()
+		j.t.rw.RUnlock(id)
 	}
 	stop()
 	cancel()
@@ -1020,6 +1124,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.admitMu.Lock()
 	if s.state == stateServing {
+		// Flush pending batches before the drain gate closes: their members
+		// are admitted queries whose submitters block on done, and a worker
+		// only runs what is in the queue. admitMu held exclusively means no
+		// submitBatched can be appending concurrently, and the queue sends
+		// land before drainCh closes, so no worker can have drained and
+		// exited past them.
+		s.targetMu.RLock()
+		for _, t := range s.targets {
+			if t.batch != nil {
+				s.flushBatch(t, true)
+			}
+		}
+		s.targetMu.RUnlock()
 		s.state = stateDraining
 		close(s.drainCh)
 	}

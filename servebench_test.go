@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"duel"
+	"duel/internal/dbgif"
 	"duel/internal/scenarios"
 	"duel/internal/serve"
 )
@@ -262,6 +263,149 @@ func BenchmarkServeHedgedRead(b *testing.B) {
 			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
 		})
 	}
+}
+
+// readCountingTarget wraps the benchmark debuggee and counts host read
+// round-trips so the batching benchmark can report hostreads/op.
+type readCountingTarget struct {
+	dbgif.Debugger
+	reads atomic.Int64
+}
+
+func (c *readCountingTarget) GetTargetBytes(addr uint64, n int) ([]byte, error) {
+	c.reads.Add(1)
+	return c.Debugger.GetTargetBytes(addr, n)
+}
+
+// batchServer stands up a server like benchServer with read coalescing
+// configured and the target's host reads counted.
+func batchServer(b testing.TB, workers int, batch serve.BatchConfig) (*serve.Server, *readCountingTarget) {
+	b.Helper()
+	d, err := scenarios.BuildIntArray(256, func(i int) int64 { return int64(i%7) - 3 })
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct := &readCountingTarget{Debugger: d}
+	opts := duel.DefaultOptions()
+	opts.Backend = "compiled"
+	srv := serve.New(serve.Config{Workers: workers, QueueDepth: 8 * workers, Session: opts, Batch: batch})
+	srv.Register("bench", ct)
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, ct
+}
+
+// BenchmarkServeBatchedRead measures what read coalescing buys: the same
+// concurrent read-only load with batching off and at BatchSize 8, reporting
+// target-lock acquisitions and host read round-trips per query alongside
+// throughput. The acceptance gate is >=2x fewer locks/op and hostreads/op
+// at batch=8 — one shared acquisition and one warm pass per batch instead
+// of one of each per query.
+func BenchmarkServeBatchedRead(b *testing.B) {
+	const workers, submitters = 4, 16
+	for _, cfg := range []struct {
+		name  string
+		batch serve.BatchConfig
+	}{
+		{"batch=off", serve.BatchConfig{}},
+		{"batch=8", serve.BatchConfig{Enabled: true, BatchSize: 8, MaxWait: 200 * time.Microsecond}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			srv, ct := batchServer(b, workers, cfg.batch)
+			ctx := context.Background()
+			if _, err := srv.Eval(ctx, "bench", benchServeQuery); err != nil {
+				b.Fatal(err)
+			}
+			locks0 := srv.Stats().TargetLocks
+			reads0 := ct.reads.Load()
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			var failed atomic.Int64
+			per := b.N / submitters
+			extra := b.N % submitters
+			for g := 0; g < submitters; g++ {
+				n := per
+				if g < extra {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if _, err := srv.Eval(ctx, "bench", benchServeQuery); err != nil {
+							failed.Add(1)
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if f := failed.Load(); f > 0 {
+				b.Fatalf("%d/%d queries failed", f, b.N)
+			}
+			st := srv.Stats()
+			b.ReportMetric(float64(st.TargetLocks-locks0)/float64(b.N), "locks/op")
+			b.ReportMetric(float64(ct.reads.Load()-reads0)/float64(b.N), "hostreads/op")
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkServeStream measures the streaming submit path: concurrent reads
+// delivered value by value through SubmitStream instead of collected
+// transcripts. Unlike benchServeQuery (which filters everything out so
+// throughput isolates eval cost), this query emits a value per element so
+// the per-value emit path is actually on the clock.
+func BenchmarkServeStream(b *testing.B) {
+	const workers = 4
+	const streamQuery = "x[..16]"
+	srv := benchServer(b, workers, 4*workers)
+	ctx := context.Background()
+	if _, err := srv.Eval(ctx, "bench", streamQuery); err != nil {
+		b.Fatal(err)
+	}
+	var values atomic.Int64
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	per := b.N / workers
+	extra := b.N % workers
+	for g := 0; g < workers; g++ {
+		n := per
+		if g < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				err := srv.SubmitStream(ctx, "bench", streamQuery, serve.SubmitOptions{},
+					func(serve.StreamValue) error {
+						values.Add(1)
+						return nil
+					})
+				if err != nil {
+					failed.Add(1)
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if f := failed.Load(); f > 0 {
+		b.Fatalf("%d/%d queries failed", f, b.N)
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
+	b.ReportMetric(float64(values.Load())/float64(b.N), "values/op")
 }
 
 // TestHedgeHappyPathOverhead keeps the hedging machinery honest: with the
