@@ -86,7 +86,7 @@ func (g *gateList) Set(s string) error {
 }
 
 func main() {
-	bench := flag.String("bench", "T1Catalog|T3Scan|T3ListWalk|ServeThroughput|ServeOverload|ServeHedgedRead|ServeBatchedRead|ServeStream", "benchmark name pattern (go test -bench)")
+	bench := flag.String("bench", "T1Catalog|T3Scan|T3ListWalk|ServeThroughput|ServeOverload|ServeHedgedRead|ServeBatchedRead|ServeStream|FleetFailover", "benchmark name pattern (go test -bench)")
 	benchtime := flag.String("benchtime", "", "per-benchmark time or count (go test -benchtime)")
 	out := flag.String("out", "", "output path; default BENCH_<date>.json, \"-\" for stdout")
 	pkg := flag.String("pkg", ".", "package to benchmark")

@@ -19,6 +19,7 @@ import (
 	"duel/internal/ctype"
 	"duel/internal/duel/ast"
 	"duel/internal/faultdbg"
+	"duel/internal/fleet"
 	"duel/internal/microc"
 	"duel/internal/serve"
 	"duel/internal/target"
@@ -70,6 +71,11 @@ type REPL struct {
 	stepping bool
 	// running is true while the target executes (nested prompt).
 	running bool
+	// fleetStats keeps the last "serve replicas=" run's fleet counters and
+	// fleetDiv the last relative-debugging divergence (duel diff, or the
+	// fleet scrubber), for the stats command.
+	fleetStats *fleet.Stats
+	fleetDiv   *fleet.DiffReport
 	// evalDepth counts DUEL evaluations in flight on the REPL goroutine. A
 	// re-entrant evaluation — the stmt hook firing a watchpoint, assertion
 	// or breakpoint condition inside a DUEL-driven target call — must not
@@ -220,6 +226,12 @@ func (r *REPL) Command(line string) (quit bool, err error) {
 	case "print", "p":
 		return false, r.cmdEval(rest, false)
 	case "duel", "dl":
+		if expr, ok := strings.CutPrefix(rest, "diff "); ok {
+			return false, r.cmdDiff(strings.TrimSpace(expr))
+		}
+		if rest == "diff" {
+			return false, fmt.Errorf("usage: duel diff <expression>")
+		}
 		switch rest {
 		case "":
 			// Like the original: bare "duel" prints a syntax summary.
@@ -268,6 +280,9 @@ func (r *REPL) help() {
   print <expr>        evaluate an expression (DUEL syntax)
   duel <expr>         evaluate a DUEL expression, printing every value
   duel clear          drop DUEL aliases and declared variables
+  duel diff <expr>    run the expression on a clean replica and one behind
+                      the current fault plan; report the first diverging
+                      value (relative debugging)
   watch <expr>        stop when a DUEL expression's values change
   unwatch [id]        remove watchpoint(s)
   assert <expr>       stop when a DUEL invariant produces a zero value
@@ -284,8 +299,8 @@ func (r *REPL) help() {
                        callfail callhang all; seed= after= limit= delay= hang=)
   serve [w [n]] <expr>  run n copies of a query through a w-worker
                       evaluation server and report concurrent throughput
-                      (knobs: hedge retry deadline batch wait stream —
-                       "help serve" for the full list)
+                      (knobs: hedge retry deadline batch wait stream
+                       replicas — "help serve" for the full list)
   counters            evaluation statistics
   stats               last-eval time, compile-cache and prefetch report
   quit
@@ -316,6 +331,13 @@ func (r *REPL) cmdStats() {
 		c.Prefetches, c.PrefetchStripes, c.PrefetchPages)
 	r.printf("host reads saved: %d of %d engine reads (%d host round-trips)\n",
 		saved, c.TargetReads, c.HostReads)
+	if fs := r.fleetStats; fs != nil {
+		r.printf("fleet (last serve replicas= run): %d failovers, %d exhausted, %d scrub runs, %d divergences\n",
+			fs.Failovers, fs.NoReplica, fs.ScrubRuns, fs.Divergences)
+	}
+	if r.fleetDiv != nil {
+		r.printf("last divergence: %s\n", r.fleetDiv)
+	}
 }
 
 // cmdServe self-benchmarks the serving layer (internal/serve): it stands up
@@ -361,6 +383,7 @@ func (r *REPL) cmdServe(rest string) error {
 	var batch serve.BatchConfig
 	var deadline time.Duration
 	stream := false
+	replicas := 1
 opts:
 	for len(fields) > 0 {
 		eq := strings.IndexByte(fields[0], '=')
@@ -403,6 +426,12 @@ opts:
 				return fmt.Errorf("serve: bad deadline %q (want a positive duration)", val)
 			}
 			deadline = d
+		case "replicas":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 1 {
+				return fmt.Errorf("serve: bad replicas %q (want a positive count)", val)
+			}
+			replicas = v
 		default:
 			break opts
 		}
@@ -412,6 +441,9 @@ opts:
 	expr := strings.Join(fields, " ")
 	if strings.TrimSpace(expr) == "" {
 		return fmt.Errorf(usage)
+	}
+	if replicas > 1 {
+		return r.serveFleet(workers, n, replicas, hedge, retry, batch, deadline, stream, expr)
 	}
 
 	sopts := r.Ses.Options()
@@ -483,6 +515,160 @@ opts:
 	return nil
 }
 
+// serveFleet is cmdServe's replicas= mode: the same traffic, routed through
+// a fleet.Router fronting `replicas` serve nodes. Each node wraps this one
+// target behind its own per-replica fault lane (DeriveReplica reseeds the
+// REPL's current plan per node), so an armed fault plan makes the replicas
+// genuinely unequal and the router's health-ranked routing, failover and
+// divergence scrubbing all have something to do. Because every "replica" is
+// a view of the same underlying debuggee, only read-only expressions are
+// allowed — a write fan-out would apply the mutation once per replica.
+func (r *REPL) serveFleet(workers, n, replicas int, hedge serve.HedgeConfig, retry serve.RetryConfig, batch serve.BatchConfig, deadline time.Duration, stream bool, expr string) error {
+	sopts := r.Ses.Options()
+	plan := r.Inj.CurrentPlan()
+	var lane atomic.Int64
+	servers := make([]*serve.Server, replicas)
+	reps := make([]fleet.Replica, replicas)
+	for i := 0; i < replicas; i++ {
+		rp := plan.DeriveReplica("repl", i)
+		srv := serve.New(serve.Config{Workers: workers, Session: sopts, Hedge: hedge, Retry: retry, Batch: batch})
+		srv.RegisterFactory("repl", func() (*duel.Session, error) {
+			return duel.NewSession(faultdbg.New(r.Dbg, rp.Derive(lane.Add(1))), sopts)
+		})
+		servers[i] = srv
+		reps[i] = fleet.Replica{Name: fmt.Sprintf("repl/%d", i), Server: srv, Target: "repl"}
+	}
+	shutdown := func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for _, s := range servers {
+			_ = s.Shutdown(sctx)
+		}
+	}
+	if mutating, err := servers[0].ClassifyQuery("repl", expr); err != nil {
+		shutdown()
+		return fmt.Errorf("serve: %w", err)
+	} else if mutating {
+		shutdown()
+		return fmt.Errorf("serve: replicas=%d needs a read-only expression (the replicas share this one target; a write fan-out would apply it %d times)", replicas, replicas)
+	}
+
+	router := fleet.New(fleet.Config{Scrub: fleet.ScrubConfig{Enabled: true, Interval: 5 * time.Millisecond}})
+	if err := router.AddGroup("repl", reps, expr); err != nil {
+		router.Close()
+		shutdown()
+		return err
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	var firstErr atomic.Pointer[string]
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		from, to := g*n/workers, (g+1)*n/workers
+		wg.Add(1)
+		go func(count int) {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				var opt serve.SubmitOptions
+				if deadline > 0 {
+					opt.Deadline = time.Now().Add(deadline)
+				}
+				var err error
+				if stream {
+					err = router.SubmitStream(ctx, "repl", expr, opt,
+						func(serve.StreamValue) error { return nil })
+				} else {
+					_, err = router.EvalWith(ctx, "repl", expr, opt)
+				}
+				if err != nil {
+					failed.Add(1)
+					s := err.Error()
+					firstErr.CompareAndSwap(nil, &s)
+				}
+			}
+		}(to - from)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	statuses, _ := router.Replicas("repl")
+	router.Close()
+	shutdown()
+
+	fst := router.Stats()
+	r.fleetStats = &fst
+	if d := router.LastDivergence(); d != nil {
+		r.fleetDiv = d
+	}
+	qps := float64(fst.Completed) / elapsed.Seconds()
+	r.printf("served %d queries in %v across %d replicas of %d workers (%.0f queries/sec)\n",
+		fst.Completed, elapsed.Round(time.Microsecond), replicas, workers, qps)
+	r.printf("fleet: %d admitted, %d failovers, %d exhausted, %d scrub runs, %d divergences; %d evaluations failed\n",
+		fst.Admitted, fst.Failovers, fst.NoReplica, fst.ScrubRuns, fst.Divergences, failed.Load())
+	for _, s := range statuses {
+		r.printf("  %s: %s (score %.2f), %d divergences attributed\n",
+			s.Name, s.Health, s.Score, s.Divergences)
+	}
+	if d := router.LastDivergence(); d != nil {
+		r.printf("last divergence: %s\n", d)
+	}
+	if e := firstErr.Load(); e != nil {
+		r.printf("first failure: %s\n", *e)
+	}
+	return nil
+}
+
+// cmdDiff is "duel diff <expr>": relative debugging of this target against
+// itself, DUCT-style. The expression runs once on a clean replica and once
+// on a replica behind the REPL's current fault plan, and the report names
+// the first value where the two runs' streams diverge — with no plan armed
+// it is a determinism check (two clean runs must match exactly).
+func (r *REPL) cmdDiff(expr string) error {
+	if expr == "" {
+		return fmt.Errorf("usage: duel diff <expression>")
+	}
+	if r.running || r.evalDepth > 0 {
+		return fmt.Errorf("duel diff is unavailable while the program is running")
+	}
+	sopts := r.Ses.Options()
+	plan := r.Inj.CurrentPlan()
+	srv := serve.New(serve.Config{Workers: 2, Session: sopts})
+	srv.RegisterFactory("clean", func() (*duel.Session, error) {
+		return duel.NewSession(r.Dbg, sopts)
+	})
+	var lane atomic.Int64
+	srv.RegisterFactory("faulty", func() (*duel.Session, error) {
+		return duel.NewSession(faultdbg.New(r.Dbg, plan.Derive(lane.Add(1))), sopts)
+	})
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+	router := fleet.New(fleet.Config{})
+	defer router.Close()
+	if err := router.AddGroup("diff", []fleet.Replica{
+		{Name: "clean", Server: srv, Target: "clean"},
+		{Name: "faulty", Server: srv, Target: "faulty"},
+	}); err != nil {
+		return err
+	}
+	rep, err := router.Diff(context.Background(), "diff", expr, 0, 1)
+	if err != nil {
+		return err
+	}
+	if rep.Diverged {
+		r.fleetDiv = rep
+	}
+	r.printf("%s\n", rep)
+	if len(plan.Rates) == 0 && len(plan.Script) == 0 {
+		r.printf("(no fault plan armed — this compared two clean runs; arm one with \"faults\")\n")
+	}
+	return nil
+}
+
 // helpServe documents every serve knob — the one-line summary in help
 // points here.
 func (r *REPL) helpServe() {
@@ -507,6 +693,14 @@ Knobs (between the numbers and the expression):
                    rather than waiting for company (default %v)
   stream=on|off    submit through SubmitStream, delivering each value as it
                    is produced instead of collecting transcripts (off)
+  replicas=N       fleet mode: route the same traffic through a replica
+                   group of N serve nodes over this target, each node behind
+                   its own per-replica fault lane. Reads fail over between
+                   replicas under the router's health ranking, a background
+                   scrubber cross-checks replica value streams for silent
+                   divergence, and the report adds fleet counters
+                   (failovers, exhausted routes, scrub runs, divergences)
+                   plus per-replica health. Read-only expressions only (1)
 `, serve.DefaultBatchSize, serve.DefaultBatchMaxWait)
 }
 

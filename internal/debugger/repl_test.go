@@ -652,3 +652,70 @@ func TestServeCommandUsage(t *testing.T) {
 		t.Errorf("missing running refusal:\n%s", out)
 	}
 }
+
+// TestServeReplicasCommand: serve replicas=N stands up a replica group of N
+// independent servers behind the fleet router and reports the fleet
+// counters plus per-replica health; stats remembers the run.
+func TestServeReplicasCommand(t *testing.T) {
+	out := runScript(t, listProgram,
+		"run",
+		"serve 2 8 replicas=2 head-->next->v",
+		"stats",
+		"quit",
+	)
+	for _, want := range []string{
+		"served 8 queries",
+		"across 2 replicas of 2 workers",
+		"fleet: 8 admitted,",
+		"0 evaluations failed",
+		"repl/0: healthy",
+		"repl/1: healthy",
+		"fleet (last serve replicas= run):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serve replicas output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeReplicasRefusesMutation: every fleet "replica" is a view of the
+// same underlying debuggee, so a write fan-out would apply the mutation
+// once per replica — mutating expressions are refused before any traffic.
+func TestServeReplicasRefusesMutation(t *testing.T) {
+	out := runScript(t, listProgram,
+		"run",
+		"serve 1 2 replicas=2 head->v = 9",
+		"quit",
+	)
+	if !strings.Contains(out, "replicas=2 needs a read-only expression") {
+		t.Errorf("mutating fleet query not refused:\n%s", out)
+	}
+}
+
+// TestDuelDiffCommand: relative debugging of the target against itself.
+// With no fault plan armed the two runs are clean clones and must match;
+// with a total unmapped-read plan armed, the faulty side produces nothing
+// and the report pins the divergence at the first value.
+func TestDuelDiffCommand(t *testing.T) {
+	out := runScript(t, listProgram,
+		"run",
+		"duel diff",
+		"duel diff head-->next->v",
+		"faults unmapped=1 seed=3",
+		"duel diff head-->next->v",
+		"stats",
+		"quit",
+	)
+	for _, want := range []string{
+		"usage: duel diff <expression>",
+		"no divergence:",
+		"3 identical values on clean and faulty",
+		"(no fault plan armed",
+		"diverged at #0: clean produced 3 extra value(s)",
+		"last divergence:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("duel diff output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -153,6 +153,16 @@ func (p Plan) DeriveTarget(name string) Plan {
 	return p
 }
 
+// DeriveReplica returns a copy of the plan reseeded for replica i of the
+// named logical target: DeriveTarget folds the group key, Derive spreads
+// the replica index, so a fleet soak holds ONE base plan and every replica
+// of every group gets its own reproducible dice stream — replica 0 and
+// replica 1 of the same group see different faults, and replica 0 of group
+// "a" differs from replica 0 of group "b".
+func (p Plan) DeriveReplica(target string, i int) Plan {
+	return p.DeriveTarget(target).Derive(int64(i))
+}
+
 // Stats counts an Injector's traffic and injections.
 type Stats struct {
 	Ops      int64 // interface operations seen (reads, writes, allocs, calls)

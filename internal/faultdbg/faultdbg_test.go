@@ -2,6 +2,7 @@ package faultdbg_test
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -335,6 +336,36 @@ func TestDeriveTarget(t *testing.T) {
 				t.Fatalf("seed collision: %s/lane%d vs %s", name, lane, prev)
 			}
 			seeds[s] = name
+		}
+	}
+}
+
+func TestDeriveReplica(t *testing.T) {
+	base := faultdbg.Plan{Seed: 42, Rates: map[faultdbg.Kind]float64{faultdbg.Transient: 1}, Limit: 3}
+
+	// Deterministic, and exactly the documented composition.
+	r1 := base.DeriveReplica("grp", 0)
+	r2 := base.DeriveReplica("grp", 0)
+	if r1.Seed != r2.Seed {
+		t.Fatalf("DeriveReplica not deterministic: %d vs %d", r1.Seed, r2.Seed)
+	}
+	if want := base.DeriveTarget("grp").Derive(0).Seed; r1.Seed != want {
+		t.Fatalf("DeriveReplica(grp,0) = %d, want DeriveTarget(grp).Derive(0) = %d", r1.Seed, want)
+	}
+	if r1.Limit != base.Limit || len(r1.Rates) != len(base.Rates) {
+		t.Fatalf("DeriveReplica changed more than the seed: %+v", r1)
+	}
+
+	// Replicas of one group, and same-index replicas of different groups,
+	// all get distinct dice streams.
+	seeds := map[int64]string{base.Seed: "base"}
+	for _, grp := range []string{"grp", "other"} {
+		for i := 0; i < 4; i++ {
+			s := base.DeriveReplica(grp, i).Seed
+			if prev, dup := seeds[s]; dup {
+				t.Fatalf("seed collision: %s/%d vs %s", grp, i, prev)
+			}
+			seeds[s] = fmt.Sprintf("%s/%d", grp, i)
 		}
 	}
 }

@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"duel/internal/ctype"
+	"duel/internal/fakedbg"
+	"duel/internal/faultdbg"
+	"duel/internal/mem"
+	"duel/internal/serve"
+)
+
+// buildBigImage is a replica image with a large array, so a single
+// streaming query stays in flight long enough to be killed mid-stream:
+// int big[N] with big[i] = i*i % 7919.
+func buildBigImage(t testing.TB, n int) *fakedbg.Fake {
+	t.Helper()
+	f := fakedbg.New(ctype.ILP32, 1<<20)
+	a := f.A
+	big := f.MustVar("big", a.ArrayOf(a.Int, n))
+	for i := 0; i < n; i++ {
+		v := uint64(i * i % 7919)
+		if err := f.PutTargetBytes(big.Addr+uint64(4*i), mem.EncodeUint(v, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// TestFleetKillMidStreamExactlyOnce is the deterministic half of the chaos
+// acceptance: a replica is administratively killed while it is streaming a
+// long read, and the caller still receives every value exactly once, with
+// contiguous sequence numbers, via failover to a clone.
+func TestFleetKillMidStreamExactlyOnce(t *testing.T) {
+	const n = 1024
+	r := New(Config{})
+	defer r.Close()
+	servers := make([]*serve.Server, 3)
+	reps := make([]Replica, 3)
+	for i := range servers {
+		servers[i] = serve.New(serve.Config{Workers: 2, QueueDepth: 64})
+		servers[i].Register("t", buildBigImage(t, n))
+		reps[i] = Replica{Server: servers[i], Target: "t"}
+	}
+	defer func() {
+		for _, s := range servers {
+			_ = s.Shutdown(context.Background())
+		}
+	}()
+	if err := r.AddGroup("g", reps); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh router's rotation starts at replica 0, so the stream below
+	// deterministically lands there — and replica 0 is who we kill once the
+	// caller has 100 values in hand. The short sleep after the kill lets the
+	// cancellation land before the evaluator churns out the rest, but
+	// nothing depends on it: values replica 0 squeezes out after the kill
+	// are suppressed on the re-run like any delivered prefix.
+	var got []serve.StreamValue
+	killed := false
+	err := r.SubmitStream(context.Background(), "g", fmt.Sprintf("big[..%d]", n), serve.SubmitOptions{},
+		func(v serve.StreamValue) error {
+			got = append(got, v)
+			if v.Seq == 100 && !killed {
+				killed = true
+				if err := r.KillReplica("g", 0); err != nil {
+					t.Errorf("kill: %v", err)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("stream across a replica kill: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("received %d values, want %d (lost or duplicated across failover)", len(got), n)
+	}
+	for i, v := range got {
+		if v.Seq != i {
+			t.Fatalf("sequence broke at %d: got Seq %d", i, v.Seq)
+		}
+		if want := fmt.Sprint(i * i % 7919); v.Text != want {
+			t.Fatalf("value %d: got %q want %q (streams spliced incorrectly)", i, v.Text, want)
+		}
+	}
+	st := r.Stats()
+	if st.Failovers == 0 {
+		t.Error("mid-stream kill caused no failover")
+	}
+	if st.Admitted != 1 || st.Completed != 1 || st.Failed != 0 || st.NoReplica != 0 {
+		t.Errorf("accounting after the kill: %+v", st)
+	}
+}
+
+// TestFleetChaosSoak is the fleet-level storm: three replicas of one image
+// behind the router, eight submitters of seeded read traffic (one replica
+// dragged by a low-rate transient fault plan so retry exhaustion joins the
+// failover triggers), and replica 0 killed outright mid-traffic. Zero read
+// queries may be lost: every submit must succeed, Completed must equal
+// Admitted when the dust settles, and Completed ≤ Admitted must hold at
+// every sampled instant. A corrupt value planted on one replica mid-soak
+// must surface as a typed scrubber divergence that quarantines the culprit.
+func TestFleetChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is a long test")
+	}
+	const seed = 20260808 // pinned: rerun failures byte-for-byte
+
+	r := New(Config{Scrub: ScrubConfig{Enabled: true, Interval: 2 * time.Millisecond}})
+	defer r.Close()
+	fakes := make([]*fakedbg.Fake, 3)
+	servers := make([]*serve.Server, 3)
+	reps := make([]Replica, 3)
+	var lanes atomic.Int64
+	for i := range servers {
+		fakes[i] = buildReplicaImage(t)
+		servers[i] = serve.New(serve.Config{Workers: 4, QueueDepth: 256})
+		if i == 2 {
+			// Replica 2 rides a light transient storm under the default
+			// retry budgets: most faults are absorbed, the rest surface as
+			// retry exhaustion — a failover trigger, never a lost query.
+			plan := faultdbg.Plan{
+				Seed:  seed,
+				Rates: map[faultdbg.Kind]float64{faultdbg.Transient: 0.1},
+				Limit: 200,
+			}
+			dbg := faultdbg.New(fakes[i], plan.DeriveReplica("g", i).Derive(lanes.Add(1)))
+			servers[i].Register("t", dbg)
+		} else {
+			servers[i].Register("t", fakes[i])
+		}
+		reps[i] = Replica{Server: servers[i], Target: "t"}
+	}
+	defer func() {
+		for _, s := range servers {
+			_ = s.Shutdown(context.Background())
+		}
+	}()
+	if err := r.AddGroup("g", reps, "x[..10]", "head-->next->value"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Invariant poller: Completed ≤ Admitted at every sampled instant.
+	stop := make(chan struct{})
+	var violations atomic.Int64
+	var poll sync.WaitGroup
+	poll.Add(1)
+	go func() {
+		defer poll.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s := r.Stats(); s.Completed > s.Admitted {
+				violations.Add(1)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	reads := []string{"x[..10]", "x[..10] >? 3", "x[0]", "head-->next->value", "+/x[..10]"}
+	const goroutines, perG = 8, 60
+	var wg sync.WaitGroup
+	killAt := make(chan struct{})
+	var killOnce sync.Once
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)))
+			for i := 0; i < perG; i++ {
+				if g == 0 && i == perG/2 {
+					killOnce.Do(func() { close(killAt) })
+				}
+				src := reads[rng.Intn(len(reads))]
+				if _, err := r.Eval(context.Background(), "g", src); err != nil {
+					t.Errorf("goroutine %d query %d (%q): read lost: %v", g, i, src, err)
+				}
+			}
+		}(g)
+	}
+
+	// Kill replica 0 mid-traffic, once the storm is demonstrably rolling.
+	<-killAt
+	if err := r.KillReplica("g", 0); err != nil {
+		t.Fatal(err)
+	}
+	// And plant silent corruption on replica 1 for the scrubber to catch:
+	// a write straight to that node, behind the router's fan-out, flips
+	// x[6] from -2 to 13 — a divergence no error or latency signal betrays.
+	if _, err := servers[1].Eval(context.Background(), "t", "x[6] = 13"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	st := r.Stats()
+	if st.Admitted != goroutines*perG {
+		t.Errorf("admitted %d, want %d", st.Admitted, goroutines*perG)
+	}
+	if st.Completed != st.Admitted {
+		t.Errorf("lost queries: Completed %d != Admitted %d (%+v)", st.Completed, st.Admitted, st)
+	}
+	if st.Failed != 0 || st.NoReplica != 0 {
+		t.Errorf("storm accounting: %+v", st)
+	}
+
+	// With replica 0 dead only two replicas are live, and a two-sided
+	// divergence is deliberately unattributable. Revive replica 0 (the
+	// storm wrote nothing, so it is still a faithful clone) to restore the
+	// scrubber's majority — exactly the operator move the revive API is for.
+	if err := r.ReviveReplica("g", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scrubber must catch the planted corruption and quarantine the
+	// culprit — the storm is over but the scrub loop keeps running.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sts, err := r.Replicas("g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sts[1].Health == serve.TargetQuarantined && sts[1].Divergences > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("corrupt replica never quarantined: %+v stats %+v", sts, r.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ld := r.LastDivergence(); ld == nil || !ld.Diverged || ld.Kind == DivergeNone {
+		t.Fatalf("no typed divergence recorded: %+v", ld)
+	}
+	if st := r.Stats(); st.ScrubRuns == 0 || st.Divergences == 0 {
+		t.Errorf("scrub accounting: %+v", st)
+	}
+
+	close(stop)
+	poll.Wait()
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("Completed > Admitted observed %d times during the soak", n)
+	}
+}

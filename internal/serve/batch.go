@@ -30,6 +30,7 @@ import (
 
 	"duel"
 	"duel/internal/core"
+	"duel/internal/dbgif"
 	"duel/internal/duel/ast"
 	"duel/internal/memio"
 )
@@ -66,27 +67,64 @@ type batcher struct {
 	timer   *time.Timer
 }
 
-// classify parses src on the target's dedicated classification session and
-// reports whether the query mutates the target. The batcher must classify
-// before deciding the query's path — without borrowing a pooled evaluation
-// session, which a worker may be using. The session is built lazily on
-// first use and only ever parses (never touches target memory), so one per
-// target suffices.
-func (t *targetState) classify(src string) (mutating bool, err error) {
-	t.clsMu.Lock()
-	defer t.clsMu.Unlock()
+// classifierLocked returns the target's dedicated classification session,
+// building it lazily on first use. Callers must hold clsMu. The session
+// only ever parses (never touches target memory), so one per target
+// suffices.
+func (t *targetState) classifierLocked() (*duel.Session, error) {
 	if t.cls == nil {
 		ses, err := t.factory()
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		t.cls = ses
 	}
-	n, err := t.cls.ParseCached(src)
+	return t.cls, nil
+}
+
+// classify parses src on the target's dedicated classification session and
+// reports whether the query mutates the target. The batcher must classify
+// before deciding the query's path — without borrowing a pooled evaluation
+// session, which a worker may be using.
+//
+// Classification never evaluates, so it cannot define aliases — but the
+// session is long-lived and shared by every submit against the target, so
+// it gets the same hygiene pooled sessions get anyway: a polluting tree
+// (x := e, declarations, interned strings) scrubs the session on the way
+// out. Defense in depth: if a future parse path ever grows session state,
+// the classifier cannot quietly accumulate it across submits
+// (TestClassifierSessionHygiene pins this).
+func (t *targetState) classify(src string) (mutating bool, err error) {
+	t.clsMu.Lock()
+	defer t.clsMu.Unlock()
+	ses, err := t.classifierLocked()
 	if err != nil {
 		return false, err
 	}
-	return MutatesTargetFor(n, t.cls.D), nil
+	n, err := ses.ParseCached(src)
+	if err != nil {
+		return false, err
+	}
+	mutating = MutatesTargetFor(n, ses.D)
+	if Pollutes(n) {
+		ses.ClearAliases()
+	}
+	return mutating, nil
+}
+
+// readOnly reports whether the target's substrate refuses writes
+// (dbgif.ReadOnly — a core dump, say), resolved through the classifier
+// session's middleware chain. The fleet layer uses this to fast-fail a
+// mutating query against a replica group that contains an immutable
+// replica, before applying the write anywhere.
+func (t *targetState) readOnly() (bool, error) {
+	t.clsMu.Lock()
+	defer t.clsMu.Unlock()
+	ses, err := t.classifierLocked()
+	if err != nil {
+		return false, err
+	}
+	return dbgif.ReadOnly(ses.D), nil
 }
 
 // submitBatched tries to ride src on the target's batch. handled=false

@@ -116,6 +116,7 @@ type health struct {
 	brownouts     atomic.Int64 // transitions into brownout
 	brownoutSheds atomic.Int64 // mutating queries shed while browned out
 	fastFails     atomic.Int64 // queries refused while quarantined
+	divergences   atomic.Int64 // divergence penalties applied (see penalize)
 }
 
 func newHealth(cfg HealthConfig, now func() time.Time) *health {
@@ -239,6 +240,25 @@ func (h *health) observe(probe, infraFail, slow bool) {
 			h.state.Store(int32(TargetHealthy))
 		}
 		h.mu.Unlock()
+	}
+}
+
+// score returns the current health score scaled back to [0, 1].
+func (h *health) score() float64 {
+	return float64(h.scoreFP.Load()) / healthScale
+}
+
+// penalize feeds n synthetic infra-failure samples into the score, driving
+// the ordinary state machine. This is the integrity channel into target
+// health: the fleet layer's divergence scrubber calls it when a replica's
+// value stream disagrees with its peers, so a silently-corrupted target —
+// one that answers quickly and cleanly, just wrongly — degrades through
+// brownout into quarantine exactly like a slow or faulting one. Each call
+// counts as one divergence however many samples it spends.
+func (h *health) penalize(n int) {
+	h.divergences.Add(1)
+	for i := 0; i < n; i++ {
+		h.observe(false, true, false)
 	}
 }
 

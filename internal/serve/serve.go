@@ -188,6 +188,7 @@ type Stats struct {
 	QuarantineFails int64 // queries refused with ErrQuarantined
 	Brownouts       int64 // target transitions into brownout
 	BrownoutSheds   int64 // mutating queries shed with ErrBrownout
+	Divergences     int64 // divergence penalties applied via PenalizeTarget
 
 	BatchFlushes   int64 // batches flushed to the queue (size or MaxWait)
 	BatchedQueries int64 // queries that rode a batch instead of their own job
@@ -497,6 +498,62 @@ func (s *Server) TargetHealth(name string) (HealthState, error) {
 	return st, nil
 }
 
+// TargetHealthScore reports the named target's health state together with
+// the rate-based score behind it, in [0, 1] (1 = perfectly healthy). The
+// fleet layer ranks a replica group's members with it: replicas sort by
+// state, and the raw score breaks ties, so traffic prefers the replica the
+// health machinery currently trusts most.
+func (s *Server) TargetHealthScore(name string) (HealthState, float64, error) {
+	t, err := s.lookup(name)
+	if err != nil {
+		return TargetHealthy, 0, err
+	}
+	st, _, _, _, _ := t.health.snapshot()
+	return st, t.health.score(), nil
+}
+
+// ClassifyQuery parses src on the named target's classification session and
+// reports whether it would mutate the target — the same read/write
+// classification the worker applies before choosing a lock mode, exposed so
+// a routing layer can pick a path (read failover vs write fan-out) before
+// committing the query to any node. A parse error reports as the error; the
+// caller typically routes such a query down the read path and lets the
+// serving node surface the error with full accounting.
+func (s *Server) ClassifyQuery(target, src string) (mutating bool, err error) {
+	t, err := s.lookup(target)
+	if err != nil {
+		return false, err
+	}
+	return t.classify(src)
+}
+
+// TargetReadOnly reports whether the named target's substrate refuses
+// writes (dbgif.ReadOnly through the session middleware chain — a core
+// dump, say). Routing layers use it to fast-fail mutating queries against
+// replica groups containing an immutable member.
+func (s *Server) TargetReadOnly(name string) (bool, error) {
+	t, err := s.lookup(name)
+	if err != nil {
+		return false, err
+	}
+	return t.readOnly()
+}
+
+// PenalizeTarget feeds n synthetic infra-failure samples into the named
+// target's health score and counts one divergence against it. This is the
+// hook the fleet scrubber uses when cross-replica diffing catches a target
+// answering wrongly: wrong answers carry no latency or error signal of
+// their own, so integrity findings enter the health machinery here and
+// drive the same brownout→quarantine response a faulting target earns.
+func (s *Server) PenalizeTarget(name string, n int) error {
+	t, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	t.health.penalize(n)
+	return nil
+}
+
 // Stats snapshots the server's counters. The snapshot always satisfies
 // Completed <= Admitted: every query increments Admitted strictly before it
 // can be picked up by a worker, and the loads below read Completed before
@@ -529,6 +586,7 @@ func (s *Server) Stats() Stats {
 		st.QuarantineFails += qFails
 		st.Brownouts += brownouts
 		st.BrownoutSheds += bSheds
+		st.Divergences += t.health.divergences.Load()
 		st.TargetLocks += t.locks.Load()
 	}
 	s.targetMu.RUnlock()
